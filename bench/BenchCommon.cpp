@@ -1,0 +1,64 @@
+#include "BenchCommon.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace nascent;
+using namespace nascent::bench;
+
+const char *nascent::bench::checkSourceName(CheckSource S) {
+  return S == CheckSource::PRX ? "PRX" : "INX";
+}
+
+RunResult nascent::bench::runProgram(const SuiteProgram &Program,
+                                     CheckSource Source, bool Optimize,
+                                     PlacementScheme Scheme,
+                                     ImplicationMode Mode) {
+  PipelineOptions PO;
+  PO.Source = Source;
+  PO.Optimize = Optimize;
+  PO.Opt.Scheme = Scheme;
+  PO.Opt.Implications = Mode;
+  CompileResult CR = compileSource(Program.Source, PO);
+  if (!CR.Success) {
+    std::fprintf(stderr, "benchmark program '%s' failed to compile:\n%s\n",
+                 Program.Name, CR.Diags.render().c_str());
+    std::exit(1);
+  }
+  RunResult R;
+  R.Exec = interpret(*CR.M);
+  if (R.Exec.St != ExecResult::Status::Ok) {
+    std::fprintf(stderr, "benchmark program '%s' did not run cleanly: %s\n",
+                 Program.Name, R.Exec.FaultMessage.c_str());
+    std::exit(1);
+  }
+  R.Static = countStatic(*CR.M);
+  R.Opt = CR.Stats;
+  R.OptimizeSeconds = CR.OptimizeSeconds;
+  R.TotalSeconds = CR.TotalSeconds;
+  return R;
+}
+
+const RunResult &nascent::bench::naiveBaseline(const SuiteProgram &Program,
+                                               CheckSource Source) {
+  static std::map<std::pair<std::string, int>, RunResult> Cache;
+  auto Key = std::make_pair(std::string(Program.Name),
+                            static_cast<int>(Source));
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  RunResult R = runProgram(Program, Source, /*Optimize=*/false,
+                           PlacementScheme::NI, ImplicationMode::All);
+  return Cache.emplace(Key, std::move(R)).first->second;
+}
+
+double nascent::bench::percentEliminated(const RunResult &Naive,
+                                         const RunResult &Optimized) {
+  if (Naive.Exec.DynChecks == 0)
+    return 0.0;
+  return 100.0 *
+         static_cast<double>(Naive.Exec.DynChecks -
+                             Optimized.Exec.DynChecks) /
+         static_cast<double>(Naive.Exec.DynChecks);
+}

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the table harnesses: compile + run a suite program
+/// under a configuration, with caching of the naive baseline runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_BENCH_BENCHCOMMON_H
+#define NASCENT_BENCH_BENCHCOMMON_H
+
+#include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "suite/Suite.h"
+
+#include <string>
+
+namespace nascent {
+namespace bench {
+
+/// One measured configuration run.
+struct RunResult {
+  ExecResult Exec;
+  StaticCounts Static;
+  OptimizerStats Opt;
+  double OptimizeSeconds = 0;
+  double TotalSeconds = 0;
+};
+
+/// Compiles and runs \p Program. When \p Optimize is false the naive
+/// baseline is produced. Terminates with a message on compile failure
+/// (the suite must always compile).
+RunResult runProgram(const SuiteProgram &Program, CheckSource Source,
+                     bool Optimize, PlacementScheme Scheme,
+                     ImplicationMode Mode);
+
+/// Naive baseline (checks inserted, no optimization) for \p Source kind.
+const RunResult &naiveBaseline(const SuiteProgram &Program,
+                               CheckSource Source);
+
+/// Percentage of dynamic checks eliminated relative to the naive run.
+double percentEliminated(const RunResult &Naive, const RunResult &Optimized);
+
+/// "PRX" / "INX".
+const char *checkSourceName(CheckSource S);
+
+} // namespace bench
+} // namespace nascent
+
+#endif // NASCENT_BENCH_BENCHCOMMON_H

@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark timing of the range-check optimization phase (the
+/// paper's section 4.2 compile-time comparison): each scheme over the
+/// whole suite, plus the implication ablation. Expected ordering: NI
+/// cheapest, preheader schemes moderate, PRE-based schemes most
+/// expensive, and primed (no-implication) variants slower than their
+/// unprimed counterparts because the check universe degenerates to one
+/// family per check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "suite/Suite.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace nascent;
+
+namespace {
+
+/// Compiles the whole suite without optimization, once per timing
+/// iteration (outside the measured region), then times optimizeModule.
+void benchScheme(benchmark::State &State, PlacementScheme Scheme,
+                 ImplicationMode Mode, CheckSource Source) {
+  PipelineOptions Naive;
+  Naive.Optimize = false;
+  Naive.Source = Source;
+
+  uint64_t ChecksDeleted = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    std::vector<std::unique_ptr<Module>> Modules;
+    for (const SuiteProgram &P : benchmarkSuite()) {
+      CompileResult R = compileSource(P.Source, Naive);
+      if (!R.Success)
+        State.SkipWithError("suite program failed to compile");
+      Modules.push_back(std::move(R.M));
+    }
+    State.ResumeTiming();
+
+    RangeCheckOptions Opts;
+    Opts.Scheme = Scheme;
+    Opts.Implications = Mode;
+    for (auto &M : Modules) {
+      DiagnosticEngine Diags;
+      OptimizerStats S = optimizeModule(*M, Opts, Diags);
+      ChecksDeleted += S.ChecksDeleted;
+    }
+  }
+  State.counters["checksDeleted"] = static_cast<double>(ChecksDeleted);
+}
+
+void registerAll() {
+  struct Entry {
+    const char *Name;
+    PlacementScheme Scheme;
+    ImplicationMode Mode;
+  };
+  static const Entry Entries[] = {
+      {"NI", PlacementScheme::NI, ImplicationMode::All},
+      {"CS", PlacementScheme::CS, ImplicationMode::All},
+      {"LNI", PlacementScheme::LNI, ImplicationMode::All},
+      {"SE", PlacementScheme::SE, ImplicationMode::All},
+      {"LI", PlacementScheme::LI, ImplicationMode::All},
+      {"LLS", PlacementScheme::LLS, ImplicationMode::All},
+      {"ALL", PlacementScheme::ALL, ImplicationMode::All},
+      {"NIprime", PlacementScheme::NI, ImplicationMode::None},
+      {"SEprime", PlacementScheme::SE, ImplicationMode::None},
+      {"LLSprime", PlacementScheme::LLS, ImplicationMode::CrossFamilyOnly},
+  };
+  for (const Entry &E : Entries) {
+    for (CheckSource Source : {CheckSource::PRX, CheckSource::INX}) {
+      std::string Name = std::string("BM_Optimize/") + E.Name + "/" +
+                         (Source == CheckSource::PRX ? "PRX" : "INX");
+      benchmark::RegisterBenchmark(
+          Name.c_str(), [E, Source](benchmark::State &State) {
+            benchScheme(State, E.Scheme, E.Mode, Source);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

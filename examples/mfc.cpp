@@ -1,0 +1,140 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// mfc: the mini-Fortran compiler driver. Compiles a source file with a
+/// selectable check-placement scheme, optionally dumps the IR, runs the
+/// program in the interpreter, and reports dynamic instruction and check
+/// counts — a command-line face for the whole library.
+///
+///   mfc [options] file.mf
+///     -scheme=NAME                      placement scheme (default LLS):
+///                                       NI|CS|LNI|SE|LI|LLS|ALL|MCM|AI
+///     -impl=all|cross|none              implication mode (default all)
+///     -inx                              use induction-expression checks
+///     -no-opt                           naive checking only
+///     -no-checks                        do not insert range checks
+///     -dump-ir                          print the optimized IR
+///     -emit-c                           print instrumented C instead of
+///                                       running the program
+///     -quiet                            suppress program output
+///
+//===----------------------------------------------------------------------===//
+
+#include "cbackend/CEmitter.h"
+#include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace nascent;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mfc [-scheme=NAME] [-impl=all|cross|none] [-inx] [-no-opt]\n"
+      "           [-no-checks] [-dump-ir] [-emit-c] [-quiet] file.mf\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  PipelineOptions PO;
+  bool DumpIR = false;
+  bool EmitC = false;
+  bool Quiet = false;
+  const char *Path = nullptr;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "-scheme=", 8) == 0) {
+      if (!parsePlacementScheme(Arg + 8, PO.Opt.Scheme)) {
+        std::fprintf(stderr, "mfc: unknown scheme '%s'\n", Arg + 8);
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "-impl=all") == 0) {
+      PO.Opt.Implications = ImplicationMode::All;
+    } else if (std::strcmp(Arg, "-impl=cross") == 0) {
+      PO.Opt.Implications = ImplicationMode::CrossFamilyOnly;
+    } else if (std::strcmp(Arg, "-impl=none") == 0) {
+      PO.Opt.Implications = ImplicationMode::None;
+    } else if (std::strcmp(Arg, "-inx") == 0) {
+      PO.Source = CheckSource::INX;
+    } else if (std::strcmp(Arg, "-no-opt") == 0) {
+      PO.Optimize = false;
+    } else if (std::strcmp(Arg, "-no-checks") == 0) {
+      PO.Lowering.InsertChecks = false;
+    } else if (std::strcmp(Arg, "-dump-ir") == 0) {
+      DumpIR = true;
+    } else if (std::strcmp(Arg, "-emit-c") == 0) {
+      EmitC = true;
+    } else if (std::strcmp(Arg, "-quiet") == 0) {
+      Quiet = true;
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "mfc: unknown option '%s'\n", Arg);
+      usage();
+      return 2;
+    } else if (Path) {
+      usage();
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (!Path) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "mfc: cannot open '%s'\n", Path);
+    return 2;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+
+  CompileResult R = compileSource(SS.str(), PO);
+  std::string Diags = R.Diags.render();
+  if (!Diags.empty())
+    std::fprintf(stderr, "%s", Diags.c_str());
+  if (!R.Success)
+    return 1;
+
+  if (DumpIR)
+    std::printf("%s", printModule(*R.M).c_str());
+  if (EmitC) {
+    std::printf("%s", emitModuleToC(*R.M).c_str());
+    return 0;
+  }
+
+  ExecResult E = interpret(*R.M);
+  if (!Quiet)
+    for (const std::string &Line : E.Output)
+      std::printf("%s\n", Line.c_str());
+
+  switch (E.St) {
+  case ExecResult::Status::Ok:
+    break;
+  case ExecResult::Status::Trapped:
+    std::fprintf(stderr, "mfc: program trapped: %s\n",
+                 E.FaultMessage.c_str());
+    break;
+  default:
+    std::fprintf(stderr, "mfc: runtime fault: %s\n", E.FaultMessage.c_str());
+    return 3;
+  }
+
+  std::fprintf(stderr,
+               "[mfc] %llu instructions, %llu range checks executed "
+               "(%llu conditional); optimize %.3fs\n",
+               (unsigned long long)E.DynInstrs,
+               (unsigned long long)E.DynChecks,
+               (unsigned long long)E.DynCondChecks, R.OptimizeSeconds);
+  return E.St == ExecResult::Status::Trapped ? 4 : 0;
+}

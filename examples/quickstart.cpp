@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: compile a mini-Fortran program, optimize its range checks
+/// with the paper's best scheme (LLS: preheader insertion with loop-limit
+/// substitution), and measure the dynamic checks actually executed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+
+#include <cstdio>
+
+using namespace nascent;
+
+int main() {
+  // A small kernel: every a(i)/b(i+1) subscript needs a lower and an
+  // upper range check per access in the naive translation.
+  const char *Source = R"(
+program quickstart
+  integer n, i
+  real a(100), b(101)
+  n = 90
+  do i = 1, n
+    b(i + 1) = real(i) * 0.5
+    a(i) = b(i + 1) + a(i) * 2.0
+  end do
+  print a(10)
+end program
+)";
+
+  // 1. The naive baseline: checks inserted, nothing optimized.
+  PipelineOptions Naive;
+  Naive.Optimize = false;
+  CompileResult Base = compileSource(Source, Naive);
+  if (!Base.Success) {
+    std::fprintf(stderr, "compile failed:\n%s", Base.Diags.render().c_str());
+    return 1;
+  }
+  ExecResult BaseRun = interpret(*Base.M);
+
+  // 2. The optimized build: loop-limit substitution hoists every check
+  //    out of the loop as a conditional check in the preheader.
+  PipelineOptions Optimized;
+  Optimized.Opt.Scheme = PlacementScheme::LLS;
+  CompileResult Opt = compileSource(Source, Optimized);
+  ExecResult OptRun = interpret(*Opt.M);
+
+  std::printf("naive:     %llu dynamic checks, %llu other instructions\n",
+              (unsigned long long)BaseRun.DynChecks,
+              (unsigned long long)BaseRun.DynInstrs);
+  std::printf("LLS:       %llu dynamic checks (%.2f%% eliminated)\n",
+              (unsigned long long)OptRun.DynChecks,
+              100.0 * double(BaseRun.DynChecks - OptRun.DynChecks) /
+                  double(BaseRun.DynChecks));
+  std::printf("output unchanged: %s\n\n",
+              BaseRun.Output == OptRun.Output ? "yes" : "NO (bug!)");
+
+  std::printf("optimized IR (note the Cond-checks in the loop preheader):\n%s",
+              printFunction(*Opt.M->entry()).c_str());
+  return 0;
+}

@@ -1,0 +1,26 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG traversal utilities: reverse post-order (the iteration order of the
+/// forward data-flow solver) and reachability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_ANALYSIS_CFGUTILS_H
+#define NASCENT_ANALYSIS_CFGUTILS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace nascent {
+
+/// Blocks reachable from the entry, in reverse post-order.
+std::vector<BlockID> reversePostOrder(const Function &F);
+
+/// Per-block reachability from the entry (indexed by BlockID).
+std::vector<bool> reachableBlocks(const Function &F);
+
+} // namespace nascent
+
+#endif // NASCENT_ANALYSIS_CFGUTILS_H

@@ -1,0 +1,102 @@
+#include "analysis/Dataflow.h"
+
+#include "analysis/CFGUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace nascent;
+
+DataflowResult nascent::solveDataflow(const Function &F,
+                                      const DataflowProblem &P) {
+  size_t NumBlocks = F.numBlocks();
+  size_t N = P.UniverseSize;
+  assert(P.Gen.size() == NumBlocks && P.Kill.size() == NumBlocks &&
+         "problem sets not sized to the CFG");
+
+  DataflowResult R;
+  R.In.assign(NumBlocks, DenseBitVector(N));
+  R.Out.assign(NumBlocks, DenseBitVector(N));
+
+  DenseBitVector Boundary = P.Boundary;
+  if (Boundary.size() != N)
+    Boundary = DenseBitVector(N);
+
+  const bool Intersect = P.MeetOp == DataflowProblem::Meet::Intersect;
+  DenseBitVector Top(N, /*InitialValue=*/Intersect);
+
+  std::vector<BlockID> Order = reversePostOrder(F);
+  if (P.Dir == DataflowProblem::Direction::Backward)
+    std::reverse(Order.begin(), Order.end());
+
+  // Initialise interior values to top so the first meet is exact.
+  for (BlockID B : Order) {
+    R.In[B] = Top;
+    R.Out[B] = Top;
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockID B : Order) {
+      const BasicBlock *BB = F.block(B);
+      if (P.Dir == DataflowProblem::Direction::Forward) {
+        // In[B] = meet over preds' Out (boundary at the entry block).
+        DenseBitVector NewIn(N);
+        if (B == F.entryBlock()) {
+          NewIn = Boundary;
+        } else {
+          bool First = true;
+          for (BlockID Pred : BB->preds()) {
+            if (First) {
+              NewIn = R.Out[Pred];
+              First = false;
+            } else if (Intersect) {
+              NewIn &= R.Out[Pred];
+            } else {
+              NewIn |= R.Out[Pred];
+            }
+          }
+          if (First)
+            NewIn = Intersect ? Top : DenseBitVector(N);
+        }
+        DenseBitVector NewOut = NewIn;
+        NewOut.andNot(P.Kill[B]);
+        NewOut |= P.Gen[B];
+        if (NewIn != R.In[B] || NewOut != R.Out[B]) {
+          R.In[B] = std::move(NewIn);
+          R.Out[B] = std::move(NewOut);
+          Changed = true;
+        }
+      } else {
+        // Out[B] = meet over succs' In (boundary at exit blocks).
+        std::vector<BlockID> Succs = BB->successors();
+        DenseBitVector NewOut(N);
+        if (Succs.empty()) {
+          NewOut = Boundary;
+        } else {
+          bool First = true;
+          for (BlockID S : Succs) {
+            if (First) {
+              NewOut = R.In[S];
+              First = false;
+            } else if (Intersect) {
+              NewOut &= R.In[S];
+            } else {
+              NewOut |= R.In[S];
+            }
+          }
+        }
+        DenseBitVector NewIn = NewOut;
+        NewIn.andNot(P.Kill[B]);
+        NewIn |= P.Gen[B];
+        if (NewIn != R.In[B] || NewOut != R.Out[B]) {
+          R.In[B] = std::move(NewIn);
+          R.Out[B] = std::move(NewOut);
+          Changed = true;
+        }
+      }
+    }
+  }
+  return R;
+}

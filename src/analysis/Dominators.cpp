@@ -1,0 +1,99 @@
+#include "analysis/Dominators.h"
+
+#include "analysis/CFGUtils.h"
+
+#include <algorithm>
+
+using namespace nascent;
+
+DominatorTree::DominatorTree(const Function &F) {
+  size_t N = F.numBlocks();
+  IDom.assign(N, InvalidBlock);
+  RPONumber.assign(N, -1);
+  Children.assign(N, {});
+  Frontier.assign(N, {});
+
+  RPO = reversePostOrder(F);
+  for (size_t I = 0; I != RPO.size(); ++I)
+    RPONumber[RPO[I]] = static_cast<int>(I);
+
+  BlockID Entry = F.entryBlock();
+  IDom[Entry] = Entry;
+
+  // Cooper-Harvey-Kennedy: iterate until the idom assignment stabilises.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockID B : RPO) {
+      if (B == Entry)
+        continue;
+      BlockID NewIDom = InvalidBlock;
+      for (BlockID P : F.block(B)->preds()) {
+        if (RPONumber[P] < 0 || IDom[P] == InvalidBlock)
+          continue; // unreachable or unprocessed predecessor
+        NewIDom = (NewIDom == InvalidBlock) ? P : intersect(P, NewIDom);
+      }
+      if (NewIDom != InvalidBlock && IDom[B] != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  // The entry's idom is conventionally itself during the fixpoint; expose
+  // it as "none" and build the child lists.
+  for (BlockID B : RPO) {
+    if (B == Entry)
+      continue;
+    if (IDom[B] != InvalidBlock)
+      Children[IDom[B]].push_back(B);
+  }
+  IDom[Entry] = InvalidBlock;
+
+  computeFrontiers(F);
+}
+
+BlockID DominatorTree::intersect(BlockID A, BlockID B) const {
+  while (A != B) {
+    while (RPONumber[A] > RPONumber[B])
+      A = IDom[A];
+    while (RPONumber[B] > RPONumber[A])
+      B = IDom[B];
+  }
+  return A;
+}
+
+bool DominatorTree::dominates(BlockID A, BlockID B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  // Walk up from B; dominator chains are short in structured CFGs.
+  BlockID Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    BlockID Up = IDom[Cur];
+    if (Up == InvalidBlock)
+      return false;
+    Cur = Up;
+  }
+}
+
+void DominatorTree::computeFrontiers(const Function &F) {
+  // Cytron et al. frontier computation via the "two or more preds" rule.
+  for (BlockID B : RPO) {
+    const std::vector<BlockID> &Preds = F.block(B)->preds();
+    if (Preds.size() < 2)
+      continue;
+    for (BlockID P : Preds) {
+      if (!isReachable(P))
+        continue;
+      BlockID Runner = P;
+      while (Runner != InvalidBlock && Runner != IDom[B]) {
+        auto &Fr = Frontier[Runner];
+        if (std::find(Fr.begin(), Fr.end(), B) == Fr.end())
+          Fr.push_back(B);
+        Runner = IDom[Runner];
+      }
+    }
+  }
+}

@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm, plus
+/// dominance frontiers (needed for SSA phi placement).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_ANALYSIS_DOMINATORS_H
+#define NASCENT_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace nascent {
+
+/// Immediate-dominator tree for the reachable part of a function's CFG.
+///
+/// The function's predecessor lists must be current (call recomputePreds
+/// before constructing). Unreachable blocks have no idom and dominate
+/// nothing.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  /// Immediate dominator of \p B; InvalidBlock for the entry and for
+  /// unreachable blocks.
+  BlockID idom(BlockID B) const { return IDom[B]; }
+
+  /// True when \p A dominates \p B (reflexive).
+  bool dominates(BlockID A, BlockID B) const;
+
+  /// True when \p B is reachable from the entry.
+  bool isReachable(BlockID B) const { return RPONumber[B] >= 0; }
+
+  /// Children of \p B in the dominator tree.
+  const std::vector<BlockID> &children(BlockID B) const {
+    return Children[B];
+  }
+
+  /// Dominance frontier of \p B.
+  const std::vector<BlockID> &frontier(BlockID B) const {
+    return Frontier[B];
+  }
+
+  /// Blocks in reverse post-order (reachable only).
+  const std::vector<BlockID> &rpo() const { return RPO; }
+
+private:
+  BlockID intersect(BlockID A, BlockID B) const;
+  void computeFrontiers(const Function &F);
+
+  std::vector<BlockID> IDom;
+  std::vector<int> RPONumber; ///< -1 for unreachable blocks
+  std::vector<BlockID> RPO;
+  std::vector<std::vector<BlockID>> Children;
+  std::vector<std::vector<BlockID>> Frontier;
+};
+
+} // namespace nascent
+
+#endif // NASCENT_ANALYSIS_DOMINATORS_H

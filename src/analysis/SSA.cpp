@@ -1,0 +1,197 @@
+#include "analysis/SSA.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace nascent;
+
+void SSA::forEachSymbolUse(const Instruction &I, const SymbolTable &Syms,
+                           const std::function<void(SymbolID)> &Fn) {
+  for (const Value &V : I.Operands)
+    if (V.isSym() && !Syms.get(V.symbol()).isArray())
+      Fn(V.symbol());
+  for (const Value &V : I.Indices)
+    if (V.isSym() && !Syms.get(V.symbol()).isArray())
+      Fn(V.symbol());
+  for (const auto &[Sym, Coeff] : I.Check.expr().terms()) {
+    (void)Coeff;
+    Fn(Sym);
+  }
+  for (const CheckExpr &G : I.Guards)
+    for (const auto &[Sym, Coeff] : G.expr().terms()) {
+      (void)Coeff;
+      Fn(Sym);
+    }
+}
+
+SSA::SSA(const Function &F, const DominatorTree &DT) : F(F) {
+  size_t NumBlocks = F.numBlocks();
+  BlockPhis.assign(NumBlocks, {});
+  InstUses.assign(NumBlocks, {});
+  InstDefs.assign(NumBlocks, {});
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    InstUses[B].assign(F.block(static_cast<BlockID>(B))->size(), {});
+    InstDefs[B].assign(F.block(static_cast<BlockID>(B))->size(),
+                       InvalidSSAValue);
+  }
+
+  // Entry values for every scalar symbol.
+  EntryValues.assign(F.symbols().size(), InvalidSSAValue);
+  for (SymbolID S = 0; S != F.symbols().size(); ++S) {
+    if (F.symbols().get(S).isArray())
+      continue;
+    SSADef D;
+    D.K = SSADef::Kind::Entry;
+    D.Sym = S;
+    EntryValues[S] = static_cast<SSAValueID>(Defs.size());
+    Defs.push_back(D);
+  }
+
+  placePhis(DT);
+  rename(DT);
+}
+
+void SSA::placePhis(const DominatorTree &DT) {
+  size_t NumSyms = F.symbols().size();
+
+  // Def blocks per symbol; the entry block implicitly defines everything.
+  std::vector<std::set<BlockID>> DefBlocks(NumSyms);
+  for (BlockID B : DT.rpo()) {
+    for (const Instruction &I : F.block(B)->instructions())
+      if (I.Dest != InvalidSymbol && !F.symbols().get(I.Dest).isArray())
+        DefBlocks[I.Dest].insert(B);
+  }
+  for (SymbolID S = 0; S != NumSyms; ++S) {
+    if (F.symbols().get(S).isArray())
+      continue;
+    DefBlocks[S].insert(F.entryBlock());
+  }
+
+  // Iterated dominance frontier per symbol.
+  for (SymbolID S = 0; S != NumSyms; ++S) {
+    if (F.symbols().get(S).isArray())
+      continue;
+    std::vector<BlockID> Work(DefBlocks[S].begin(), DefBlocks[S].end());
+    std::set<BlockID> HasPhi;
+    while (!Work.empty()) {
+      BlockID B = Work.back();
+      Work.pop_back();
+      for (BlockID FB : DT.frontier(B)) {
+        if (HasPhi.count(FB))
+          continue;
+        HasPhi.insert(FB);
+        SSAPhi P;
+        P.Sym = S;
+        P.Incoming.assign(F.block(FB)->preds().size(), InvalidSSAValue);
+        SSADef D;
+        D.K = SSADef::Kind::Phi;
+        D.Sym = S;
+        D.Block = FB;
+        D.InstIdx = static_cast<uint32_t>(BlockPhis[FB].size());
+        P.Result = static_cast<SSAValueID>(Defs.size());
+        Defs.push_back(D);
+        BlockPhis[FB].push_back(std::move(P));
+        if (!DefBlocks[S].count(FB))
+          Work.push_back(FB);
+      }
+    }
+  }
+}
+
+void SSA::rename(const DominatorTree &DT) {
+  size_t NumSyms = F.symbols().size();
+  std::vector<std::vector<SSAValueID>> Stacks(NumSyms);
+  for (SymbolID S = 0; S != NumSyms; ++S)
+    if (EntryValues[S] != InvalidSSAValue)
+      Stacks[S].push_back(EntryValues[S]);
+
+  // Pre-compute, for each block, the index of each predecessor so phi
+  // operands can be filled from the predecessor side.
+  auto PredIndex = [&](BlockID Succ, BlockID Pred) -> int {
+    const auto &Preds = F.block(Succ)->preds();
+    for (size_t K = 0; K != Preds.size(); ++K)
+      if (Preds[K] == Pred)
+        return static_cast<int>(K);
+    return -1;
+  };
+
+  // Iterative DFS over the dominator tree with explicit "undo" frames.
+  struct Frame {
+    BlockID B;
+    size_t NextChild = 0;
+    std::vector<SymbolID> Pushed; ///< symbols to pop when leaving
+    bool Entered = false;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({F.entryBlock(), 0, {}, false});
+
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    BlockID B = Top.B;
+
+    if (!Top.Entered) {
+      Top.Entered = true;
+      // Phi results become current definitions.
+      for (SSAPhi &P : BlockPhis[B]) {
+        Stacks[P.Sym].push_back(P.Result);
+        Top.Pushed.push_back(P.Sym);
+      }
+      // Instructions: record uses at the pre-def point, then push defs.
+      auto &BBInsts = F.block(B)->instructions();
+      for (size_t Idx = 0; Idx != BBInsts.size(); ++Idx) {
+        const Instruction &I = BBInsts[Idx];
+        auto &Uses = InstUses[B][Idx];
+        forEachSymbolUse(I, F.symbols(), [&](SymbolID S) {
+          assert(!Stacks[S].empty() && "symbol has no reaching definition");
+          Uses.push_back(Stacks[S].back());
+        });
+        if (I.Dest != InvalidSymbol && !F.symbols().get(I.Dest).isArray()) {
+          SSADef D;
+          D.K = SSADef::Kind::Inst;
+          D.Sym = I.Dest;
+          D.Block = B;
+          D.InstIdx = static_cast<uint32_t>(Idx);
+          SSAValueID V = static_cast<SSAValueID>(Defs.size());
+          Defs.push_back(D);
+          InstDefs[B][Idx] = V;
+          Stacks[I.Dest].push_back(V);
+          Top.Pushed.push_back(I.Dest);
+        }
+      }
+      // Fill phi operands of CFG successors.
+      for (BlockID S : F.block(B)->successors()) {
+        int PI = PredIndex(S, B);
+        if (PI < 0)
+          continue;
+        for (SSAPhi &P : BlockPhis[S]) {
+          assert(!Stacks[P.Sym].empty() && "phi operand has no definition");
+          P.Incoming[static_cast<size_t>(PI)] = Stacks[P.Sym].back();
+        }
+      }
+    }
+
+    if (Top.NextChild < DT.children(B).size()) {
+      BlockID Child = DT.children(B)[Top.NextChild++];
+      Stack.push_back({Child, 0, {}, false});
+      continue;
+    }
+
+    // Leaving: pop this block's definitions.
+    for (auto It = Top.Pushed.rbegin(); It != Top.Pushed.rend(); ++It)
+      Stacks[*It].pop_back();
+    Stack.pop_back();
+  }
+}
+
+SSAValueID SSA::useOfSymbol(BlockID B, size_t InstIdx, SymbolID Sym) const {
+  const Instruction &I = F.block(B)->instructions()[InstIdx];
+  const auto &Uses = InstUses[B][InstIdx];
+  size_t K = 0;
+  SSAValueID Found = InvalidSSAValue;
+  forEachSymbolUse(I, F.symbols(), [&](SymbolID S) {
+    if (S == Sym && Found == InvalidSSAValue)
+      Found = Uses[K];
+    ++K;
+  });
+  return Found;
+}

@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSA construction (Cytron et al.) as a side-table overlay: the IR itself
+/// stays in non-SSA three-address form (the check data-flow problems of
+/// the paper operate on that form), while induction-variable analysis
+/// reads this overlay to reason about value flow. Each scalar symbol use
+/// in each instruction is resolved to an SSA value; phi nodes live in
+/// per-block side lists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_ANALYSIS_SSA_H
+#define NASCENT_ANALYSIS_SSA_H
+
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+
+#include <functional>
+#include <vector>
+
+namespace nascent {
+
+using SSAValueID = uint32_t;
+constexpr SSAValueID InvalidSSAValue = ~SSAValueID(0);
+
+/// Where an SSA value is defined.
+struct SSADef {
+  enum class Kind {
+    Entry, ///< value of the symbol on function entry (param or undefined)
+    Inst,  ///< destination of the instruction at (Block, InstIdx)
+    Phi,   ///< phi number PhiIdx of Block
+  };
+  Kind K = Kind::Entry;
+  SymbolID Sym = InvalidSymbol;
+  BlockID Block = InvalidBlock;
+  uint32_t InstIdx = 0; ///< instruction index (Inst) or phi index (Phi)
+};
+
+/// One phi node in the overlay.
+struct SSAPhi {
+  SymbolID Sym = InvalidSymbol;
+  SSAValueID Result = InvalidSSAValue;
+  /// Incoming values aligned with the block's predecessor list.
+  std::vector<SSAValueID> Incoming;
+};
+
+/// The SSA overlay for one function. Construction requires current
+/// predecessor lists and a dominator tree. The overlay is invalidated by
+/// any IR mutation.
+class SSA {
+public:
+  SSA(const Function &F, const DominatorTree &DT);
+
+  /// SSA values of the scalar-symbol uses of instruction (B, InstIdx), in
+  /// the canonical order produced by forEachSymbolUse.
+  const std::vector<SSAValueID> &usesOf(BlockID B, size_t InstIdx) const {
+    return InstUses[B][InstIdx];
+  }
+
+  /// The SSA value defined by instruction (B, InstIdx); InvalidSSAValue
+  /// when the instruction has no scalar destination.
+  SSAValueID defOf(BlockID B, size_t InstIdx) const {
+    return InstDefs[B][InstIdx];
+  }
+
+  const SSADef &def(SSAValueID V) const { return Defs[V]; }
+
+  const std::vector<SSAPhi> &phisIn(BlockID B) const { return BlockPhis[B]; }
+
+  size_t numValues() const { return Defs.size(); }
+
+  /// The function the overlay was built for.
+  const Function &function() const { return F; }
+
+  /// Enumerates the scalar-symbol uses of \p I in the canonical order:
+  /// operands, then subscripts, then check-expression terms, then guard
+  /// terms. Array symbols (e.g. whole-array call arguments) are skipped.
+  static void forEachSymbolUse(const Instruction &I, const SymbolTable &Syms,
+                               const std::function<void(SymbolID)> &Fn);
+
+  /// Resolves the SSA value of symbol \p Sym at the *use position* of
+  /// instruction (B, InstIdx). Returns InvalidSSAValue when \p Sym is not
+  /// used by the instruction.
+  SSAValueID useOfSymbol(BlockID B, size_t InstIdx, SymbolID Sym) const;
+
+private:
+  void placePhis(const DominatorTree &DT);
+  void rename(const DominatorTree &DT);
+
+  const Function &F;
+  std::vector<SSADef> Defs;
+  std::vector<std::vector<SSAPhi>> BlockPhis;
+  std::vector<std::vector<std::vector<SSAValueID>>> InstUses;
+  std::vector<std::vector<SSAValueID>> InstDefs;
+  std::vector<SSAValueID> EntryValues; ///< per-symbol entry value
+};
+
+} // namespace nascent
+
+#endif // NASCENT_ANALYSIS_SSA_H

@@ -1,0 +1,406 @@
+#include "cbackend/CEmitter.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <set>
+
+using namespace nascent;
+
+namespace {
+
+/// Per-function emission context.
+class FunctionEmitter {
+public:
+  FunctionEmitter(const Module &M, const Function &F) : M(M), F(F) {}
+
+  /// C-safe name of a symbol: user variables become v_<name>, temps keep
+  /// a t<N> shape ("%t3" -> "t3"), arrays become a_<name>.
+  std::string symName(SymbolID S) const {
+    const Symbol &Sym = F.symbols().get(S);
+    std::string Base;
+    for (char C : Sym.Name)
+      if (C != '%')
+        Base += C;
+    if (Sym.isArray())
+      return "a_" + Base;
+    if (Sym.Kind == SymbolKind::Temp)
+      return Base; // "%t3" -> "t3", already unique
+    return "v_" + Base;
+  }
+
+  static std::string cType(ScalarType T) {
+    return T == ScalarType::Real ? "double" : "long long";
+  }
+
+  std::string operand(const Value &V) const {
+    switch (V.kind()) {
+    case Value::Kind::Sym:
+      return symName(V.symbol());
+    case Value::Kind::IntConst:
+    case Value::Kind::BoolConst:
+      return std::to_string(V.intValue()) + "LL";
+    case Value::Kind::RealConst:
+      return formatString("%.17g", V.realValue());
+    case Value::Kind::None:
+      break;
+    }
+    return "0";
+  }
+
+  /// Column-major flattened index expression for an access.
+  std::string flatIndex(const Symbol &A,
+                        const std::vector<Value> &Indices) const {
+    std::string Out;
+    int64_t Stride = 1;
+    for (size_t D = 0; D != Indices.size(); ++D) {
+      const ArrayDim &Dim = A.Shape.Dims[D];
+      std::string Term = "(" + operand(Indices[D]) + " - " +
+                         std::to_string(Dim.Lower) + "LL)";
+      if (Stride != 1)
+        Term += " * " + std::to_string(Stride) + "LL";
+      if (!Out.empty())
+        Out += " + ";
+      Out += Term;
+      Stride *= Dim.extent();
+    }
+    return Out.empty() ? "0" : Out;
+  }
+
+  std::string checkCond(const CheckExpr &C) const {
+    std::string E;
+    for (const auto &[Sym, Coeff] : C.expr().terms()) {
+      if (!E.empty())
+        E += " + ";
+      E += std::to_string(Coeff) + "LL * " + symName(Sym);
+    }
+    if (E.empty())
+      E = "0LL";
+    return "(" + E + ") <= " + std::to_string(C.bound()) + "LL";
+  }
+
+  std::string signature() const {
+    std::string Sig;
+    if (F.resultType())
+      Sig += cType(*F.resultType());
+    else
+      Sig += "void";
+    Sig += " fn_" + F.name() + "(";
+    bool First = true;
+    for (SymbolID P : F.params()) {
+      if (!First)
+        Sig += ", ";
+      First = false;
+      const Symbol &S = F.symbols().get(P);
+      if (S.isArray())
+        Sig += cType(S.Type) + " *" + symName(P);
+      else
+        Sig += cType(S.Type) + " " + symName(P);
+    }
+    if (First)
+      Sig += "void";
+    Sig += ")";
+    return Sig;
+  }
+
+  std::string emitBody() {
+    std::string Out;
+    // Local declarations (parameters are already in scope).
+    std::set<SymbolID> Params(F.params().begin(), F.params().end());
+    for (SymbolID S = 0; S != F.symbols().size(); ++S) {
+      if (Params.count(S))
+        continue;
+      const Symbol &Sym = F.symbols().get(S);
+      if (Sym.isArray()) {
+        Out += "  " + cType(Sym.Type) + " " + symName(S) + "[" +
+               std::to_string(Sym.Shape.elementCount()) + "] = {0};\n";
+      } else {
+        Out += "  " + cType(Sym.Type) + " " + symName(S) + " = 0;\n";
+      }
+    }
+    Out += "  goto bb0;\n";
+    for (const auto &BB : F) {
+      Out += "bb" + std::to_string(BB->id()) + ": ;\n";
+      for (const Instruction &I : BB->instructions())
+        Out += emitInstruction(I);
+      if (!BB->hasTerminator())
+        Out += "  return" +
+               std::string(F.resultType() ? " 0" : "") + ";\n";
+    }
+    return Out;
+  }
+
+private:
+  std::string destType(const Instruction &I) const {
+    return cType(F.symbols().get(I.Dest).Type);
+  }
+
+  std::string binaryExpr(const Instruction &I) const {
+    const std::string A = operand(I.Operands[0]);
+    const std::string B = operand(I.Operands[1]);
+    bool Real = F.symbols().get(I.Dest).Type == ScalarType::Real;
+    switch (I.Op) {
+    case Opcode::Add:
+      return A + " + " + B;
+    case Opcode::Sub:
+      return A + " - " + B;
+    case Opcode::Mul:
+      return A + " * " + B;
+    case Opcode::Div:
+      if (Real)
+        return "(" + B + " == 0.0 ? 0.0 : " + A + " / " + B + ")";
+      return "nck_idiv(" + A + ", " + B + ")";
+    case Opcode::Mod:
+      return "nck_imod(" + A + ", " + B + ")";
+    case Opcode::Min:
+      return "(" + A + " < " + B + " ? " + A + " : " + B + ")";
+    case Opcode::Max:
+      return "(" + A + " > " + B + " ? " + A + " : " + B + ")";
+    default:
+      break;
+    }
+    return "0";
+  }
+
+  /// Comparison operands follow the operand types, not the (bool) dest.
+  std::string cmpExpr(const Instruction &I) const {
+    auto IsReal = [&](const Value &V) {
+      if (V.isSym())
+        return F.symbols().get(V.symbol()).Type == ScalarType::Real;
+      return V.isRealConst();
+    };
+    std::string A = operand(I.Operands[0]);
+    std::string B = operand(I.Operands[1]);
+    if (IsReal(I.Operands[0]) || IsReal(I.Operands[1])) {
+      A = "(double)" + A;
+      B = "(double)" + B;
+    }
+    const char *Op = "==";
+    switch (I.Op) {
+    case Opcode::CmpEQ:
+      Op = "==";
+      break;
+    case Opcode::CmpNE:
+      Op = "!=";
+      break;
+    case Opcode::CmpLT:
+      Op = "<";
+      break;
+    case Opcode::CmpLE:
+      Op = "<=";
+      break;
+    case Opcode::CmpGT:
+      Op = ">";
+      break;
+    case Opcode::CmpGE:
+      Op = ">=";
+      break;
+    default:
+      break;
+    }
+    return "(" + A + " " + Op + " " + B + ") ? 1 : 0";
+  }
+
+  std::string emitInstruction(const Instruction &I) {
+    std::string Out;
+    auto Line = [&](const std::string &S) { Out += "  " + S + "\n"; };
+
+    // Instrumentation mirrors the interpreter's counting exactly.
+    if (I.isRangeCheck())
+      Line("nck_checks++;" + std::string(I.Op == Opcode::CondCheck
+                                             ? " nck_condchecks++;"
+                                             : ""));
+    else if (I.Op == Opcode::Load || I.Op == Opcode::Store)
+      Line("nck_instrs += " + std::to_string(1 + 2 * I.Indices.size()) +
+           ";");
+    else
+      Line("nck_instrs++;");
+
+    switch (I.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::Min:
+    case Opcode::Max:
+      Line(symName(I.Dest) + " = " + binaryExpr(I) + ";");
+      break;
+    case Opcode::Neg:
+      Line(symName(I.Dest) + " = -" + operand(I.Operands[0]) + ";");
+      break;
+    case Opcode::Abs: {
+      std::string A = operand(I.Operands[0]);
+      Line(symName(I.Dest) + " = (" + A + " < 0 ? -" + A + " : " + A +
+           ");");
+      break;
+    }
+    case Opcode::CmpEQ:
+    case Opcode::CmpNE:
+    case Opcode::CmpLT:
+    case Opcode::CmpLE:
+    case Opcode::CmpGT:
+    case Opcode::CmpGE:
+      Line(symName(I.Dest) + " = " + cmpExpr(I) + ";");
+      break;
+    case Opcode::And:
+      Line(symName(I.Dest) + " = (" + operand(I.Operands[0]) +
+           " != 0 && " + operand(I.Operands[1]) + " != 0) ? 1 : 0;");
+      break;
+    case Opcode::Or:
+      Line(symName(I.Dest) + " = (" + operand(I.Operands[0]) +
+           " != 0 || " + operand(I.Operands[1]) + " != 0) ? 1 : 0;");
+      break;
+    case Opcode::Not:
+      Line(symName(I.Dest) + " = (" + operand(I.Operands[0]) +
+           " == 0) ? 1 : 0;");
+      break;
+    case Opcode::Copy:
+      Line(symName(I.Dest) + " = " + operand(I.Operands[0]) + ";");
+      break;
+    case Opcode::IntToReal:
+      Line(symName(I.Dest) + " = (double)" + operand(I.Operands[0]) + ";");
+      break;
+    case Opcode::RealToInt:
+      Line(symName(I.Dest) + " = (long long)" + operand(I.Operands[0]) +
+           ";");
+      break;
+    case Opcode::Load: {
+      const Symbol &A = F.symbols().get(I.Array);
+      Line(symName(I.Dest) + " = " + symName(I.Array) + "[" +
+           flatIndex(A, I.Indices) + "];");
+      break;
+    }
+    case Opcode::Store: {
+      const Symbol &A = F.symbols().get(I.Array);
+      Line(symName(I.Array) + "[" + flatIndex(A, I.Indices) + "] = " +
+           operand(I.Operands[0]) + ";");
+      break;
+    }
+    case Opcode::Check:
+      Line("if (!(" + checkCond(I.Check) + ")) nck_trap(\"" +
+           (I.Origin.ArrayName.empty() ? std::string("range check")
+                                       : "array " + I.Origin.ArrayName) +
+           "\");");
+      break;
+    case Opcode::CondCheck: {
+      std::string Guards;
+      for (const CheckExpr &G : I.Guards) {
+        if (!Guards.empty())
+          Guards += " && ";
+        Guards += "(" + checkCond(G) + ")";
+      }
+      Line("if (" + Guards + ") { if (!(" + checkCond(I.Check) +
+           ")) nck_trap(\"" +
+           (I.Origin.ArrayName.empty() ? std::string("range check")
+                                       : "array " + I.Origin.ArrayName) +
+           "\"); }");
+      break;
+    }
+    case Opcode::Trap:
+      Line("nck_trap(\"compile-time detected violation\");");
+      break;
+    case Opcode::Br:
+      Line("if (" + operand(I.Operands[0]) + " != 0) goto bb" +
+           std::to_string(I.TrueTarget) + "; else goto bb" +
+           std::to_string(I.FalseTarget) + ";");
+      break;
+    case Opcode::Jump:
+      Line("goto bb" + std::to_string(I.TrueTarget) + ";");
+      break;
+    case Opcode::Ret:
+      if (F.resultType())
+        Line("return " +
+             (I.Operands.empty() ? std::string("0")
+                                 : operand(I.Operands[0])) +
+             ";");
+      else
+        Line("return;");
+      break;
+    case Opcode::Call: {
+      const Function *Callee = M.function(I.Callee);
+      assert(Callee && "verified module");
+      std::string CallStr = "fn_" + I.Callee + "(";
+      for (size_t K = 0; K != I.Operands.size(); ++K) {
+        if (K)
+          CallStr += ", ";
+        const Symbol &PS = Callee->symbols().get(Callee->params()[K]);
+        if (PS.isArray())
+          CallStr += symName(I.Operands[K].symbol());
+        else if (PS.Type == ScalarType::Real)
+          CallStr += "(double)" + operand(I.Operands[K]);
+        else
+          CallStr += "(long long)" + operand(I.Operands[K]);
+      }
+      CallStr += ")";
+      if (I.Dest != InvalidSymbol)
+        Line(symName(I.Dest) + " = " + CallStr + ";");
+      else
+        Line(CallStr + ";");
+      break;
+    }
+    case Opcode::Print: {
+      const Value &V = I.Operands[0];
+      bool Real = V.isRealConst() ||
+                  (V.isSym() && F.symbols().get(V.symbol()).Type ==
+                                    ScalarType::Real);
+      bool Bool = V.isBoolConst() ||
+                  (V.isSym() && F.symbols().get(V.symbol()).Type ==
+                                    ScalarType::Bool);
+      if (Real)
+        Line("printf(\"%.6g\\n\", (double)" + operand(V) + ");");
+      else if (Bool)
+        Line("printf(\"%s\\n\", " + operand(V) + " ? \"T\" : \"F\");");
+      else
+        Line("printf(\"%lld\\n\", (long long)" + operand(V) + ");");
+      break;
+    }
+    }
+    return Out;
+  }
+
+  const Module &M;
+  const Function &F;
+};
+
+} // namespace
+
+std::string nascent::emitModuleToC(const Module &M) {
+  std::string Out;
+  Out += "/* Generated by nascent-rangecheck's instrumented-C back end. */\n";
+  Out += "#include <stdio.h>\n#include <stdlib.h>\n\n";
+  Out += "static unsigned long long nck_instrs = 0, nck_checks = 0, "
+         "nck_condchecks = 0;\n\n";
+  Out += "static void nck_report(void) {\n"
+         "  fprintf(stderr, \"[nascent-counts] instrs=%llu checks=%llu "
+         "condchecks=%llu\\n\",\n"
+         "          nck_instrs, nck_checks, nck_condchecks);\n}\n\n";
+  Out += "static void nck_trap(const char *What) {\n"
+         "  fprintf(stderr, \"[nascent-trap] range check failed: %s\\n\", "
+         "What);\n"
+         "  nck_report();\n  exit(2);\n}\n\n";
+  Out += "static long long nck_idiv(long long A, long long B) {\n"
+         "  if (B == 0) { fprintf(stderr, \"[nascent-trap] division by "
+         "zero\\n\"); exit(3); }\n  return A / B;\n}\n\n";
+  Out += "static long long nck_imod(long long A, long long B) {\n"
+         "  if (B == 0) { fprintf(stderr, \"[nascent-trap] mod by "
+         "zero\\n\"); exit(3); }\n  return A % B;\n}\n\n";
+
+  // Prototypes first (callees may appear in any order).
+  for (const Function *F : M.functions()) {
+    FunctionEmitter FE(M, *F);
+    Out += "static " + FE.signature() + ";\n";
+  }
+  Out += "\n";
+
+  for (const Function *F : M.functions()) {
+    FunctionEmitter FE(M, *F);
+    Out += "static " + FE.signature() + " {\n";
+    Out += FE.emitBody();
+    Out += "}\n\n";
+  }
+
+  Out += "int main(void) {\n  fn_" + M.entryName() +
+         "();\n  nck_report();\n  return 0;\n}\n";
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumented-C back end: translates a Nascent IR module into one
+/// self-contained C file whose execution counts dynamic instructions and
+/// range checks exactly like the interpreter does. This mirrors the
+/// paper's measurement methodology ("the C back-end of Nascent translates
+/// Fortran programs into instrumented C programs which are then compiled
+/// and executed ... to obtain the dynamic counts").
+///
+/// The emitted program prints the mini-Fortran `print` output to stdout,
+/// one value per line, and a final counter line to stderr:
+///
+///   [nascent-counts] instrs=<N> checks=<N> condchecks=<N>
+///
+/// On a range-check failure it prints "[nascent-trap] <message>" to
+/// stderr and exits with status 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_CBACKEND_CEMITTER_H
+#define NASCENT_CBACKEND_CEMITTER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace nascent {
+
+/// Translates \p M into a complete C translation unit.
+std::string emitModuleToC(const Module &M);
+
+} // namespace nascent
+
+#endif // NASCENT_CBACKEND_CEMITTER_H

@@ -1,0 +1,147 @@
+#include "checks/CheckImplicationGraph.h"
+
+#include <algorithm>
+#include <queue>
+
+using namespace nascent;
+
+void CheckImplicationGraph::addImplication(CheckID Ci, CheckID Cj) {
+  FamilyID FI = U.familyOf(Ci);
+  FamilyID FJ = U.familyOf(Cj);
+  int64_t W = U.check(Cj).bound() - U.check(Ci).bound();
+  addFamilyEdge(FI, FJ, W);
+}
+
+void CheckImplicationGraph::addFamilyEdge(FamilyID From, FamilyID To,
+                                          int64_t Weight) {
+  if (From == To)
+    return; // within-family strength is the bound order, not an edge
+  auto &Out = Edges[From];
+  auto It = Out.find(To);
+  if (It == Out.end())
+    Out.emplace(To, Weight);
+  else
+    It->second = std::min(It->second, Weight);
+  PathMemo.clear();
+}
+
+const std::map<FamilyID, int64_t> &
+CheckImplicationGraph::shortestFrom(FamilyID From) const {
+  if (MemoGeneration != U.generation()) {
+    // New checks may have created new families; distances over families
+    // do not change, but clear anyway to stay simple and correct.
+    PathMemo.clear();
+    MemoGeneration = U.generation();
+  }
+  auto It = PathMemo.find(From);
+  if (It != PathMemo.end())
+    return It->second;
+
+  // Dijkstra does not handle negative weights; implication edges can be
+  // negative (a check can imply a *stronger-constant* check in another
+  // family). Use label-correcting search with a visit cap as a safeguard
+  // against (unsound, never constructed) negative cycles.
+  std::map<FamilyID, int64_t> Dist;
+  Dist[From] = 0;
+  std::queue<FamilyID> Work;
+  Work.push(From);
+  size_t Steps = 0;
+  const size_t MaxSteps = (U.numFamilies() + 1) * (numEdges() + 1) + 16;
+  while (!Work.empty() && Steps++ < MaxSteps) {
+    FamilyID F = Work.front();
+    Work.pop();
+    auto EIt = Edges.find(F);
+    if (EIt == Edges.end())
+      continue;
+    int64_t DF = Dist[F];
+    for (const auto &[To, W] : EIt->second) {
+      auto DIt = Dist.find(To);
+      if (DIt == Dist.end() || DF + W < DIt->second) {
+        Dist[To] = DF + W;
+        Work.push(To);
+      }
+    }
+  }
+  return PathMemo.emplace(From, std::move(Dist)).first->second;
+}
+
+std::optional<int64_t> CheckImplicationGraph::pathWeight(FamilyID From,
+                                                         FamilyID To) const {
+  if (From == To)
+    return 0;
+  const auto &Dist = shortestFrom(From);
+  auto It = Dist.find(To);
+  if (It == Dist.end())
+    return std::nullopt;
+  return It->second;
+}
+
+bool CheckImplicationGraph::isAsStrongAs(CheckID Ci, CheckID Cj) const {
+  if (Ci == Cj)
+    return true;
+  if (Mode == ImplicationMode::None)
+    return false;
+
+  FamilyID FI = U.familyOf(Ci);
+  FamilyID FJ = U.familyOf(Cj);
+  if (FI == FJ) {
+    if (Mode == ImplicationMode::CrossFamilyOnly)
+      return false;
+    return U.check(Ci).bound() <= U.check(Cj).bound();
+  }
+  auto W = pathWeight(FI, FJ);
+  if (!W)
+    return false;
+  return U.check(Ci).bound() + *W <= U.check(Cj).bound();
+}
+
+void CheckImplicationGraph::weakerClosure(CheckID C,
+                                          DenseBitVector &Out) const {
+  assert(Out.size() == U.size() && "closure vector not sized to universe");
+  Out.set(C);
+  if (Mode == ImplicationMode::None)
+    return;
+
+  FamilyID FI = U.familyOf(C);
+  int64_t BoundC = U.check(C).bound();
+
+  if (Mode != ImplicationMode::CrossFamilyOnly) {
+    // Same family: everything with a bound at least ours.
+    for (CheckID M : U.familyMembers(FI))
+      if (U.check(M).bound() >= BoundC)
+        Out.set(M);
+  }
+
+  // Cross family: members reachable with accumulated weight.
+  const auto &Dist = shortestFrom(FI);
+  for (const auto &[FJ, W] : Dist) {
+    if (FJ == FI)
+      continue;
+    for (CheckID M : U.familyMembers(FJ))
+      if (BoundC + W <= U.check(M).bound())
+        Out.set(M);
+  }
+}
+
+void CheckImplicationGraph::weakerClosureSameFamily(
+    CheckID C, DenseBitVector &Out) const {
+  assert(Out.size() == U.size() && "closure vector not sized to universe");
+  Out.set(C);
+  if (Mode == ImplicationMode::None ||
+      Mode == ImplicationMode::CrossFamilyOnly)
+    return;
+  FamilyID FI = U.familyOf(C);
+  int64_t BoundC = U.check(C).bound();
+  for (CheckID M : U.familyMembers(FI))
+    if (U.check(M).bound() >= BoundC)
+      Out.set(M);
+}
+
+size_t CheckImplicationGraph::numEdges() const {
+  size_t N = 0;
+  for (const auto &[From, Out] : Edges) {
+    (void)From;
+    N += Out.size();
+  }
+  return N;
+}

@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Check Implication Graph (paper section 3.1), with families as
+/// nodes. An edge (FI -> FJ, w) means: for any constant k,
+/// Check(expr(FI) <= k) implies Check(expr(FJ) <= k + w). Edge weights
+/// come from discovered implications; parallel edges keep the minimum
+/// weight; the "as strong as" relation is a shortest-path query with
+/// accumulated weights, combined with the within-family bound order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_CHECKS_CHECKIMPLICATIONGRAPH_H
+#define NASCENT_CHECKS_CHECKIMPLICATIONGRAPH_H
+
+#include "checks/CheckUniverse.h"
+#include "support/DenseBitVector.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace nascent {
+
+/// Which implications between checks the optimizer may exploit. These are
+/// the paper's three optimizer options (section 3.4) used by the Table 3
+/// ablation.
+enum class ImplicationMode {
+  None,            ///< a check implies only itself (NI', SE')
+  CrossFamilyOnly, ///< only CIG edges between different families (LLS')
+  All,             ///< within-family order and cross-family edges
+};
+
+/// Weighted implication graph over the families of a CheckUniverse.
+class CheckImplicationGraph {
+public:
+  CheckImplicationGraph(const CheckUniverse &U,
+                        ImplicationMode Mode = ImplicationMode::All)
+      : U(U), Mode(Mode) {}
+
+  ImplicationMode mode() const { return Mode; }
+
+  /// Records a discovered implication  Ci => Cj. The edge weight is
+  /// bound(Cj) - bound(Ci); a smaller parallel edge weight wins.
+  void addImplication(CheckID Ci, CheckID Cj);
+
+  /// Adds a raw weighted edge between families.
+  void addFamilyEdge(FamilyID From, FamilyID To, int64_t Weight);
+
+  /// True when performing \p Ci makes performing \p Cj unnecessary,
+  /// honouring the implication mode.
+  bool isAsStrongAs(CheckID Ci, CheckID Cj) const;
+
+  /// Minimal accumulated weight of a path From -> To; nullopt when
+  /// unconnected. The trivial path has weight 0.
+  std::optional<int64_t> pathWeight(FamilyID From, FamilyID To) const;
+
+  /// Sets in \p Out (sized to the universe) every check that \p C is as
+  /// strong as, including \p C itself. This is the availability gen set of
+  /// a check statement.
+  void weakerClosure(CheckID C, DenseBitVector &Out) const;
+
+  /// Same-family variant: \p C plus all weaker checks in its family. This
+  /// is the anticipatability gen set (the paper's stronger condition that
+  /// keeps insertion points sound).
+  void weakerClosureSameFamily(CheckID C, DenseBitVector &Out) const;
+
+  size_t numEdges() const;
+
+private:
+  /// Shortest path weights from \p From via Bellman-Ford (weights can be
+  /// negative; implication graphs are small and cycles with negative total
+  /// weight cannot arise from sound implications — guarded anyway).
+  const std::map<FamilyID, int64_t> &shortestFrom(FamilyID From) const;
+
+  const CheckUniverse &U;
+  ImplicationMode Mode;
+  /// Adjacency: per source family, target -> min weight.
+  std::map<FamilyID, std::map<FamilyID, int64_t>> Edges;
+
+  mutable std::map<FamilyID, std::map<FamilyID, int64_t>> PathMemo;
+  mutable uint64_t MemoGeneration = 0;
+};
+
+} // namespace nascent
+
+#endif // NASCENT_CHECKS_CHECKIMPLICATIONGRAPH_H

@@ -1,0 +1,54 @@
+#include "driver/Pipeline.h"
+
+#include "checks/INXSynthesis.h"
+#include "ir/Verifier.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <chrono>
+
+using namespace nascent;
+
+CompileResult nascent::compileSource(const std::string &Source,
+                                     const PipelineOptions &Opts) {
+  using Clock = std::chrono::steady_clock;
+  CompileResult R;
+  auto T0 = Clock::now();
+
+  Parser P(Source, R.Diags);
+  std::unique_ptr<ProgramAST> AST = P.parseProgram();
+  if (R.Diags.hasErrors())
+    return R;
+
+  Sema S(*AST, R.Diags);
+  std::unique_ptr<Module> M = S.run();
+  if (!M || R.Diags.hasErrors())
+    return R;
+
+  lowerProgram(*AST, *M, Opts.Lowering);
+  if (!verifyModule(*M, R.Diags))
+    return R;
+
+  if (Opts.Source == CheckSource::INX)
+    for (Function *F : M->functions())
+      synthesizeINXChecks(*F);
+
+  if (Opts.Optimize) {
+    auto TOpt = Clock::now();
+    R.Stats = optimizeModule(*M, Opts.Opt, R.Diags);
+    R.OptimizeSeconds =
+        std::chrono::duration<double>(Clock::now() - TOpt).count();
+    DiagnosticEngine VerifyDiags;
+    if (!verifyModule(*M, VerifyDiags)) {
+      R.Diags.error(SourceLocation(),
+                    "internal error: optimizer produced malformed IR:\n" +
+                        VerifyDiags.render());
+      return R;
+    }
+  }
+
+  R.TotalSeconds = std::chrono::duration<double>(Clock::now() - T0).count();
+  R.M = std::move(M);
+  R.Success = true;
+  return R;
+}

@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-compiler pipeline: source text -> AST -> IR with naive range
+/// checks -> (optional INX synthesis) -> range-check optimization. This
+/// mirrors the Nascent pipeline used for the paper's experiments and is
+/// what the benchmark harnesses and examples drive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_DRIVER_PIPELINE_H
+#define NASCENT_DRIVER_PIPELINE_H
+
+#include "frontend/Lowering.h"
+#include "opt/RangeCheckOptimizer.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace nascent {
+
+/// Which kind of checks the optimizer works on (paper section 2.3):
+/// program-expression checks or induction-expression checks.
+enum class CheckSource {
+  PRX,
+  INX,
+};
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  LoweringOptions Lowering;
+  CheckSource Source = CheckSource::PRX;
+  /// When false the pipeline stops after lowering (the naive baseline).
+  bool Optimize = true;
+  RangeCheckOptions Opt;
+};
+
+/// Result of one compilation.
+struct CompileResult {
+  bool Success = false;
+  std::unique_ptr<Module> M;
+  DiagnosticEngine Diags;
+  OptimizerStats Stats;
+
+  /// CPU seconds spent in the range-check optimization phase (the paper's
+  /// "Range" column).
+  double OptimizeSeconds = 0;
+  /// Wall-clock seconds for the whole pipeline (the "Nascent" column).
+  double TotalSeconds = 0;
+};
+
+/// Compiles \p Source with \p Opts. On front-end errors, Success is false
+/// and Diags carries the messages.
+CompileResult compileSource(const std::string &Source,
+                            const PipelineOptions &Opts = {});
+
+} // namespace nascent
+
+#endif // NASCENT_DRIVER_PIPELINE_H

@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks: straight-line instruction sequences ending in exactly one
+/// terminator. Successors are derived from the terminator; predecessor
+/// lists are (re)computed by Function::recomputePreds after CFG edits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_IR_BASICBLOCK_H
+#define NASCENT_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace nascent {
+
+/// One CFG node. Blocks are owned by their Function and addressed by their
+/// dense BlockID.
+class BasicBlock {
+public:
+  BasicBlock(BlockID ID, std::string Name) : ID(ID), Name(std::move(Name)) {}
+
+  BlockID id() const { return ID; }
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  std::vector<Instruction> &instructions() { return Insts; }
+  const std::vector<Instruction> &instructions() const { return Insts; }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  /// The terminator, which must exist for a well-formed block.
+  const Instruction &terminator() const {
+    assert(!Insts.empty() && Insts.back().isTerminator() &&
+           "block has no terminator");
+    return Insts.back();
+  }
+  Instruction &terminator() {
+    assert(!Insts.empty() && Insts.back().isTerminator() &&
+           "block has no terminator");
+    return Insts.back();
+  }
+
+  /// True once a terminator has been appended.
+  bool hasTerminator() const {
+    return !Insts.empty() && Insts.back().isTerminator();
+  }
+
+  /// Appends \p I; asserts the block is not already terminated.
+  void append(Instruction I) {
+    assert(!hasTerminator() && "appending past the terminator");
+    Insts.push_back(std::move(I));
+  }
+
+  /// Inserts \p I before position \p Pos (0 = block start).
+  void insertAt(size_t Pos, Instruction I) {
+    assert(Pos <= Insts.size() && "insert position out of range");
+    Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Pos), std::move(I));
+  }
+
+  /// Inserts \p I immediately before the terminator. The block must be
+  /// terminated.
+  void insertBeforeTerminator(Instruction I) {
+    assert(hasTerminator() && "block has no terminator");
+    Insts.insert(Insts.end() - 1, std::move(I));
+  }
+
+  /// Successor block ids, derived from the terminator (empty for Ret/Trap).
+  std::vector<BlockID> successors() const;
+
+  /// Predecessors; valid only after Function::recomputePreds.
+  const std::vector<BlockID> &preds() const { return Preds; }
+
+private:
+  friend class Function;
+
+  BlockID ID;
+  std::string Name;
+  std::vector<Instruction> Insts;
+  std::vector<BlockID> Preds;
+};
+
+} // namespace nascent
+
+#endif // NASCENT_IR_BASICBLOCK_H

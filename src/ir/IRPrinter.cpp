@@ -1,0 +1,111 @@
+#include "ir/IRPrinter.h"
+
+#include "support/StringUtils.h"
+
+using namespace nascent;
+
+std::string nascent::printValue(const Value &V, const SymbolTable &Syms) {
+  switch (V.kind()) {
+  case Value::Kind::None:
+    return "<none>";
+  case Value::Kind::Sym:
+    return Syms.name(V.symbol());
+  case Value::Kind::IntConst:
+    return std::to_string(V.intValue());
+  case Value::Kind::BoolConst:
+    return V.intValue() ? "true" : "false";
+  case Value::Kind::RealConst:
+    return formatString("%g", V.realValue());
+  }
+  return "?";
+}
+
+std::string nascent::printInstruction(const Instruction &I,
+                                      const SymbolTable &Syms) {
+  std::string Out;
+  auto Dst = [&]() { return Syms.name(I.Dest) + " = "; };
+  auto Ops = [&](const char *Sep) {
+    std::string S;
+    for (size_t K = 0; K != I.Operands.size(); ++K) {
+      if (K)
+        S += Sep;
+      S += printValue(I.Operands[K], Syms);
+    }
+    return S;
+  };
+  auto Idx = [&]() {
+    std::string S = "[";
+    for (size_t K = 0; K != I.Indices.size(); ++K) {
+      if (K)
+        S += ", ";
+      S += printValue(I.Indices[K], Syms);
+    }
+    return S + "]";
+  };
+
+  switch (I.Op) {
+  case Opcode::Load:
+    return Dst() + "load " + Syms.name(I.Array) + Idx();
+  case Opcode::Store:
+    return "store " + Syms.name(I.Array) + Idx() + " = " + Ops(", ");
+  case Opcode::Check:
+    return I.Check.str(Syms);
+  case Opcode::CondCheck: {
+    Out = "Cond-check((";
+    for (size_t K = 0; K != I.Guards.size(); ++K) {
+      if (K)
+        Out += " and ";
+      Out += I.Guards[K].expr().str(Syms) + " <= " +
+             std::to_string(I.Guards[K].bound());
+    }
+    Out += "), " + I.Check.expr().str(Syms) + " <= " +
+           std::to_string(I.Check.bound()) + ")";
+    return Out;
+  }
+  case Opcode::Trap:
+    return "trap";
+  case Opcode::Br:
+    return "br " + Ops(", ") + ", bb" + std::to_string(I.TrueTarget) + ", bb" +
+           std::to_string(I.FalseTarget);
+  case Opcode::Jump:
+    return "jump bb" + std::to_string(I.TrueTarget);
+  case Opcode::Ret:
+    return I.Operands.empty() ? "ret" : ("ret " + Ops(", "));
+  case Opcode::Call:
+    Out = (I.Dest != InvalidSymbol ? Dst() : std::string()) + "call " +
+          I.Callee + "(" + Ops(", ") + ")";
+    return Out;
+  case Opcode::Print:
+    return "print " + Ops(", ");
+  case Opcode::Copy:
+    return Dst() + Ops(", ");
+  default:
+    return Dst() + opcodeName(I.Op) + " " + Ops(", ");
+  }
+}
+
+std::string nascent::printFunction(const Function &F) {
+  std::string Out = "function " + F.name() + "(";
+  for (size_t K = 0; K != F.params().size(); ++K) {
+    if (K)
+      Out += ", ";
+    Out += F.symbols().name(F.params()[K]);
+  }
+  Out += ")\n";
+  for (const auto &BB : F) {
+    Out += "bb" + std::to_string(BB->id()) + " (" + BB->name() + "):\n";
+    for (const Instruction &I : BB->instructions()) {
+      Out += "  " + printInstruction(I, F.symbols()) + "\n";
+    }
+  }
+  return Out;
+}
+
+std::string nascent::printModule(const Module &M) {
+  std::string Out;
+  for (const Function *F : M.functions()) {
+    Out += printFunction(*F);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual rendering of the IR for debugging, tests, and the figure
+/// examples (which print a fragment before and after optimization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_IR_IRPRINTER_H
+#define NASCENT_IR_IRPRINTER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace nascent {
+
+/// Renders one operand, e.g. "n", "%t3", "42", "1.5".
+std::string printValue(const Value &V, const SymbolTable &Syms);
+
+/// Renders one instruction (no trailing newline).
+std::string printInstruction(const Instruction &I, const SymbolTable &Syms);
+
+/// Renders a whole function: signature, then blocks with labels.
+std::string printFunction(const Function &F);
+
+/// Renders every function in the module.
+std::string printModule(const Module &M);
+
+} // namespace nascent
+
+#endif // NASCENT_IR_IRPRINTER_H

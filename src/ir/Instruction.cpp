@@ -1,0 +1,89 @@
+#include "ir/Instruction.h"
+
+#include "ir/Symbol.h"
+
+using namespace nascent;
+
+const char *nascent::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::Abs:
+    return "abs";
+  case Opcode::CmpEQ:
+    return "cmpeq";
+  case Opcode::CmpNE:
+    return "cmpne";
+  case Opcode::CmpLT:
+    return "cmplt";
+  case Opcode::CmpLE:
+    return "cmple";
+  case Opcode::CmpGT:
+    return "cmpgt";
+  case Opcode::CmpGE:
+    return "cmpge";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::IntToReal:
+    return "itor";
+  case Opcode::RealToInt:
+    return "rtoi";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Check:
+    return "check";
+  case Opcode::CondCheck:
+    return "condcheck";
+  case Opcode::Trap:
+    return "trap";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Jump:
+    return "jump";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Print:
+    return "print";
+  }
+  return "?";
+}
+
+bool nascent::isTerminator(Opcode Op) {
+  switch (Op) {
+  case Opcode::Br:
+  case Opcode::Jump:
+  case Opcode::Ret:
+  case Opcode::Trap:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string CheckExpr::str(const SymbolTable &Syms) const {
+  return "Check(" + Expr.str(Syms) + " <= " + std::to_string(Bound) + ")";
+}

@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metadata the front end records for each counted "do" loop. The
+/// loop-limit-substitution scheme (paper section 3.3) needs the loop's
+/// index variable, affine bounds, and step to substitute the index's final
+/// value into linear checks; the loop-entry guard ("the loop executes at
+/// least once") becomes the condition of hoisted conditional checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_IR_LOOPMETADATA_H
+#define NASCENT_IR_LOOPMETADATA_H
+
+#include "ir/Instruction.h"
+#include "ir/LinearExpr.h"
+
+namespace nascent {
+
+/// Front-end-provided description of one counted loop.
+///
+/// CFG shape guaranteed by lowering:
+///
+///   Preheader -> Header -> BodyEntry -> ... -> Latch -> Header
+///                Header -> Exit
+///
+/// with Preheader the unique predecessor of Header outside the loop, and
+/// the index variable assigned only in Preheader (init) and Latch (step).
+/// Semantic analysis rejects programs that assign to a do-index inside its
+/// loop, mirroring Fortran.
+struct DoLoopInfo {
+  BlockID Preheader = InvalidBlock;
+  BlockID Header = InvalidBlock;
+  BlockID BodyEntry = InvalidBlock;
+  BlockID Latch = InvalidBlock;
+  BlockID Exit = InvalidBlock;
+
+  SymbolID IndexVar = InvalidSymbol;
+
+  /// Affine initial and final bound expressions over symbols live at the
+  /// preheader. When the source bound expression was not affine, this is a
+  /// single term over the temporary that holds the computed bound (which is
+  /// still loop-invariant).
+  LinearExpr LowerBound;
+  LinearExpr UpperBound;
+
+  /// Constant step; semantic analysis requires a nonzero integer constant.
+  int64_t Step = 1;
+
+  /// Basic loop variable (h = 0, 1, 2, ... per iteration), materialised only
+  /// in INX lowering mode; InvalidSymbol otherwise.
+  SymbolID BasicVar = InvalidSymbol;
+
+  /// The "loop executes at least once" guard as a canonical check:
+  /// step > 0:  LowerBound <= UpperBound   i.e. (Lower - Upper <= 0)
+  /// step < 0:  LowerBound >= UpperBound   i.e. (Upper - Lower <= 0)
+  CheckExpr entryGuard() const {
+    if (Step > 0)
+      return CheckExpr(LowerBound - UpperBound, 0);
+    return CheckExpr(UpperBound - LowerBound, 0);
+  }
+
+  /// Symbolic trip count minus one, valid when the guard holds and |Step|==1:
+  /// step=+1: Upper - Lower;  step=-1: Lower - Upper. For other steps the
+  /// trip count is not affine and callers must not use this.
+  LinearExpr lastIterationIndexOffset() const {
+    assert((Step == 1 || Step == -1) && "trip count not affine");
+    return Step == 1 ? UpperBound - LowerBound : LowerBound - UpperBound;
+  }
+};
+
+} // namespace nascent
+
+#endif // NASCENT_IR_LOOPMETADATA_H

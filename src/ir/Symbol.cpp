@@ -1,0 +1,49 @@
+#include "ir/Symbol.h"
+
+#include <cassert>
+
+using namespace nascent;
+
+SymbolID SymbolTable::createScalar(const std::string &Name, ScalarType Type,
+                                   bool IsParam) {
+  assert(ByName.find(Name) == ByName.end() && "duplicate symbol name");
+  SymbolID ID = static_cast<SymbolID>(Symbols.size());
+  Symbol S;
+  S.Kind = SymbolKind::Scalar;
+  S.Name = Name;
+  S.Type = Type;
+  S.IsParam = IsParam;
+  Symbols.push_back(std::move(S));
+  ByName.emplace(Name, ID);
+  return ID;
+}
+
+SymbolID SymbolTable::createArray(const std::string &Name, ArrayShape Shape,
+                                  bool IsParam) {
+  assert(ByName.find(Name) == ByName.end() && "duplicate symbol name");
+  SymbolID ID = static_cast<SymbolID>(Symbols.size());
+  Symbol S;
+  S.Kind = SymbolKind::Array;
+  S.Name = Name;
+  S.Type = Shape.Element;
+  S.Shape = std::move(Shape);
+  S.IsParam = IsParam;
+  Symbols.push_back(std::move(S));
+  ByName.emplace(Name, ID);
+  return ID;
+}
+
+SymbolID SymbolTable::createTemp(ScalarType Type, const std::string &Hint) {
+  SymbolID ID = static_cast<SymbolID>(Symbols.size());
+  Symbol S;
+  S.Kind = SymbolKind::Temp;
+  S.Name = "%" + Hint + std::to_string(NextTempNumber++);
+  S.Type = Type;
+  Symbols.push_back(std::move(S));
+  return ID;
+}
+
+SymbolID SymbolTable::lookup(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? InvalidSymbol : It->second;
+}

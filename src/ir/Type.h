@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar and array types for the Nascent IR. Arrays carry their declared
+/// per-dimension bounds, which is what the range checks compare against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_IR_TYPE_H
+#define NASCENT_IR_TYPE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nascent {
+
+/// The scalar types of the mini-Fortran language and its IR.
+enum class ScalarType {
+  Int,  ///< 64-bit signed integer ("integer")
+  Real, ///< double-precision float ("real")
+  Bool, ///< logical value ("logical")
+};
+
+/// One array dimension with inclusive declared bounds [Lower, Upper].
+struct ArrayDim {
+  int64_t Lower = 1;
+  int64_t Upper = 1;
+
+  /// Number of elements in this dimension (zero-extent dims are rejected by
+  /// semantic analysis).
+  int64_t extent() const {
+    assert(Upper >= Lower && "malformed array dimension");
+    return Upper - Lower + 1;
+  }
+};
+
+/// Shape of an array: element type plus one ArrayDim per dimension, listed
+/// from the first (fastest varying, Fortran order) to the last.
+struct ArrayShape {
+  ScalarType Element = ScalarType::Real;
+  std::vector<ArrayDim> Dims;
+
+  size_t rank() const { return Dims.size(); }
+
+  /// Total number of elements.
+  int64_t elementCount() const {
+    int64_t N = 1;
+    for (const ArrayDim &D : Dims)
+      N *= D.extent();
+    return N;
+  }
+};
+
+/// Returns a printable name for \p T.
+inline const char *scalarTypeName(ScalarType T) {
+  switch (T) {
+  case ScalarType::Int:
+    return "integer";
+  case ScalarType::Real:
+    return "real";
+  case ScalarType::Bool:
+    return "logical";
+  }
+  return "?";
+}
+
+} // namespace nascent
+
+#endif // NASCENT_IR_TYPE_H

@@ -1,0 +1,240 @@
+#include "ir/Verifier.h"
+
+#include "support/StringUtils.h"
+
+using namespace nascent;
+
+namespace {
+
+/// Verification context for one function.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, DiagnosticEngine &Diags)
+      : F(F), Diags(Diags) {}
+
+  bool run() {
+    if (F.numBlocks() == 0) {
+      error("function has no blocks");
+      return false;
+    }
+    for (const auto &BB : F)
+      verifyBlock(*BB);
+    verifyLoopMetadata();
+    return !Failed;
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Diags.error(SourceLocation(), "verifier: " + F.name() + ": " + Msg);
+    Failed = true;
+  }
+
+  bool validBlock(BlockID B) const { return B < F.numBlocks(); }
+
+  bool validSym(SymbolID S) const { return S < F.symbols().size(); }
+
+  void verifyOperandSymbols(const Instruction &I, const std::string &Where) {
+    for (const Value &V : I.Operands)
+      if (V.isSym() && !validSym(V.symbol()))
+        error(Where + ": operand references invalid symbol");
+    for (const Value &V : I.Indices)
+      if (V.isSym() && !validSym(V.symbol()))
+        error(Where + ": index references invalid symbol");
+  }
+
+  void verifyCheckExpr(const CheckExpr &C, const std::string &Where) {
+    if (C.expr().constantPart() != 0)
+      error(Where + ": check expression has non-zero constant part");
+    for (const auto &[Sym, Coeff] : C.expr().terms()) {
+      if (!validSym(Sym)) {
+        error(Where + ": check references invalid symbol");
+        continue;
+      }
+      const Symbol &S = F.symbols().get(Sym);
+      if (S.isArray())
+        error(Where + ": check references array symbol " + S.Name);
+      else if (S.Type != ScalarType::Int)
+        error(Where + ": check references non-integer symbol " + S.Name);
+      if (Coeff == 0)
+        error(Where + ": check has zero coefficient term");
+    }
+  }
+
+  void verifyBlock(const BasicBlock &BB) {
+    std::string Where = "bb" + std::to_string(BB.id());
+    if (!BB.hasTerminator()) {
+      error(Where + ": block lacks a terminator");
+      return;
+    }
+    for (size_t K = 0; K + 1 < BB.size(); ++K)
+      if (BB.instructions()[K].isTerminator())
+        error(Where + ": terminator in mid-block at position " +
+              std::to_string(K));
+
+    for (const Instruction &I : BB.instructions())
+      verifyInstruction(I, Where);
+  }
+
+  void verifyInstruction(const Instruction &I, const std::string &Where) {
+    verifyOperandSymbols(I, Where);
+    switch (I.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::Min:
+    case Opcode::Max:
+    case Opcode::CmpEQ:
+    case Opcode::CmpNE:
+    case Opcode::CmpLT:
+    case Opcode::CmpLE:
+    case Opcode::CmpGT:
+    case Opcode::CmpGE:
+    case Opcode::And:
+    case Opcode::Or:
+      if (I.Operands.size() != 2)
+        error(Where + ": binary op with arity " +
+              std::to_string(I.Operands.size()));
+      if (!validSym(I.Dest))
+        error(Where + ": binary op with invalid destination");
+      break;
+    case Opcode::Neg:
+    case Opcode::Abs:
+    case Opcode::Not:
+    case Opcode::Copy:
+    case Opcode::IntToReal:
+    case Opcode::RealToInt:
+      if (I.Operands.size() != 1)
+        error(Where + ": unary op with arity " +
+              std::to_string(I.Operands.size()));
+      if (!validSym(I.Dest))
+        error(Where + ": unary op with invalid destination");
+      break;
+    case Opcode::Load:
+    case Opcode::Store: {
+      if (!validSym(I.Array)) {
+        error(Where + ": memory op with invalid array symbol");
+        break;
+      }
+      const Symbol &A = F.symbols().get(I.Array);
+      if (!A.isArray()) {
+        error(Where + ": memory op on non-array symbol " + A.Name);
+        break;
+      }
+      if (I.Indices.size() != A.Shape.rank())
+        error(Where + ": subscript arity " + std::to_string(I.Indices.size()) +
+              " does not match rank " + std::to_string(A.Shape.rank()) +
+              " of array " + A.Name);
+      if (I.Op == Opcode::Load && !validSym(I.Dest))
+        error(Where + ": load with invalid destination");
+      if (I.Op == Opcode::Store && I.Operands.size() != 1)
+        error(Where + ": store must have exactly one value operand");
+      break;
+    }
+    case Opcode::Check:
+      verifyCheckExpr(I.Check, Where);
+      if (!I.Guards.empty())
+        error(Where + ": plain check carries guards");
+      break;
+    case Opcode::CondCheck:
+      verifyCheckExpr(I.Check, Where);
+      if (I.Guards.empty())
+        error(Where + ": conditional check without guards");
+      for (const CheckExpr &G : I.Guards)
+        verifyCheckExpr(G, Where);
+      break;
+    case Opcode::Trap:
+      break;
+    case Opcode::Br:
+      if (I.Operands.size() != 1)
+        error(Where + ": br must have exactly one condition operand");
+      if (!validBlock(I.TrueTarget) || !validBlock(I.FalseTarget))
+        error(Where + ": br target out of range");
+      break;
+    case Opcode::Jump:
+      if (!validBlock(I.TrueTarget))
+        error(Where + ": jump target out of range");
+      break;
+    case Opcode::Ret:
+      if (I.Operands.size() > 1)
+        error(Where + ": ret with more than one operand");
+      break;
+    case Opcode::Call:
+      if (I.Callee.empty())
+        error(Where + ": call without callee name");
+      break;
+    case Opcode::Print:
+      if (I.Operands.size() != 1)
+        error(Where + ": print must have exactly one operand");
+      break;
+    }
+  }
+
+  void verifyLoopMetadata() {
+    for (const DoLoopInfo &L : F.doLoops()) {
+      if (!validBlock(L.Preheader) || !validBlock(L.Header) ||
+          !validBlock(L.BodyEntry) || !validBlock(L.Latch)) {
+        error("do-loop metadata references invalid block");
+        continue;
+      }
+      if (L.IndexVar == InvalidSymbol || !validSym(L.IndexVar))
+        error("do-loop metadata has invalid index variable");
+      if (L.Step == 0)
+        error("do-loop metadata has zero step");
+    }
+  }
+
+  const Function &F;
+  DiagnosticEngine &Diags;
+  bool Failed = false;
+};
+
+} // namespace
+
+bool nascent::verifyFunction(const Function &F, DiagnosticEngine &Diags) {
+  return FunctionVerifier(F, Diags).run();
+}
+
+bool nascent::verifyModule(const Module &M, DiagnosticEngine &Diags) {
+  bool OK = true;
+  if (!M.entryName().empty() && M.entry() == nullptr) {
+    Diags.error(SourceLocation(),
+                "verifier: entry function '" + M.entryName() + "' not found");
+    OK = false;
+  }
+  for (const Function *F : M.functions()) {
+    if (!verifyFunction(*F, Diags))
+      OK = false;
+    // Cross-function checks: call targets exist and arity matches.
+    for (const auto &BB : *F) {
+      for (const Instruction &I : BB->instructions()) {
+        if (I.Op != Opcode::Call)
+          continue;
+        const Function *Callee = M.function(I.Callee);
+        if (!Callee) {
+          Diags.error(SourceLocation(), "verifier: " + F->name() +
+                                            ": call to unknown function '" +
+                                            I.Callee + "'");
+          OK = false;
+          continue;
+        }
+        if (Callee->params().size() != I.Operands.size()) {
+          Diags.error(SourceLocation(),
+                      "verifier: " + F->name() + ": call to '" + I.Callee +
+                          "' with " + std::to_string(I.Operands.size()) +
+                          " args, expected " +
+                          std::to_string(Callee->params().size()));
+          OK = false;
+        }
+        if ((I.Dest != InvalidSymbol) != Callee->resultType().has_value()) {
+          Diags.error(SourceLocation(),
+                      "verifier: " + F->name() + ": call result mismatch for '" +
+                          I.Callee + "'");
+          OK = false;
+        }
+      }
+    }
+  }
+  return OK;
+}

@@ -1,0 +1,28 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural IR verifier. Run after lowering and after every optimizer
+/// scheme in tests to catch malformed CFGs, dangling block references,
+/// non-integer check operands, and subscript-arity mismatches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_IR_VERIFIER_H
+#define NASCENT_IR_VERIFIER_H
+
+#include "ir/Function.h"
+#include "support/Diagnostics.h"
+
+namespace nascent {
+
+/// Verifies one function; reports problems into \p Diags. Returns true when
+/// the function is well-formed.
+bool verifyFunction(const Function &F, DiagnosticEngine &Diags);
+
+/// Verifies the whole module, including cross-function call arity and the
+/// existence of the entry function.
+bool verifyModule(const Module &M, DiagnosticEngine &Diags);
+
+} // namespace nascent
+
+#endif // NASCENT_IR_VERIFIER_H

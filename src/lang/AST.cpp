@@ -1,0 +1,8 @@
+#include "lang/AST.h"
+
+using namespace nascent;
+
+// Out-of-line virtual destructors anchor the vtables in this translation
+// unit (see LLVM coding standards).
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;

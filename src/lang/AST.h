@@ -1,0 +1,285 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree of mini-Fortran. Semantic analysis annotates the
+/// tree in place (symbol ids, expression types); the front end then lowers
+/// the annotated tree to the Nascent IR, inserting naive range checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_LANG_AST_H
+#define NASCENT_LANG_AST_H
+
+#include "ir/Symbol.h"
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nascent {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLit,
+  RealLit,
+  BoolLit,
+  VarRef,
+  ArrayRef,
+  Unary,
+  Binary,
+  Call,
+};
+
+/// Base class of all expressions. \c Ty is filled by semantic analysis.
+struct Expr {
+  ExprKind Kind;
+  SourceLocation Loc;
+  ScalarType Ty = ScalarType::Int;
+
+  Expr(ExprKind Kind, SourceLocation Loc) : Kind(Kind), Loc(Loc) {}
+  virtual ~Expr();
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  int64_t Value;
+  IntLitExpr(SourceLocation Loc, int64_t Value)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+};
+
+struct RealLitExpr : Expr {
+  double Value;
+  RealLitExpr(SourceLocation Loc, double Value)
+      : Expr(ExprKind::RealLit, Loc), Value(Value) {}
+};
+
+struct BoolLitExpr : Expr {
+  bool Value;
+  BoolLitExpr(SourceLocation Loc, bool Value)
+      : Expr(ExprKind::BoolLit, Loc), Value(Value) {}
+};
+
+/// A scalar variable reference. \c Sym is filled by semantic analysis.
+struct VarRefExpr : Expr {
+  std::string Name;
+  SymbolID Sym = InvalidSymbol;
+  VarRefExpr(SourceLocation Loc, std::string Name)
+      : Expr(ExprKind::VarRef, Loc), Name(std::move(Name)) {}
+};
+
+/// An array element reference A(i, j, ...).
+struct ArrayRefExpr : Expr {
+  std::string Name;
+  SymbolID Sym = InvalidSymbol;
+  std::vector<ExprPtr> Indices;
+  ArrayRefExpr(SourceLocation Loc, std::string Name,
+               std::vector<ExprPtr> Indices)
+      : Expr(ExprKind::ArrayRef, Loc), Name(std::move(Name)),
+        Indices(std::move(Indices)) {}
+};
+
+enum class UnaryOp {
+  Neg,
+  Not,
+  Abs,      ///< abs(x) intrinsic
+  IntCast,  ///< int(x) intrinsic (truncation)
+  RealCast, ///< real(x) intrinsic
+};
+
+struct UnaryExpr : Expr {
+  UnaryOp Op;
+  ExprPtr Sub;
+  UnaryExpr(SourceLocation Loc, UnaryOp Op, ExprPtr Sub)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Sub(std::move(Sub)) {}
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod, ///< mod(a, b) intrinsic
+  Min, ///< min(a, b) intrinsic
+  Max, ///< max(a, b) intrinsic
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+struct BinaryExpr : Expr {
+  BinaryOp Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+  BinaryExpr(SourceLocation Loc, BinaryOp Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+};
+
+/// A user-function call in expression position.
+struct CallExpr : Expr {
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  CallExpr(SourceLocation Loc, std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Assign,
+  ArrayAssign,
+  If,
+  Do,
+  While,
+  Call,
+  Print,
+  Return,
+};
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLocation Loc;
+  Stmt(StmtKind Kind, SourceLocation Loc) : Kind(Kind), Loc(Loc) {}
+  virtual ~Stmt();
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct AssignStmt : Stmt {
+  std::string Name;
+  SymbolID Sym = InvalidSymbol;
+  ExprPtr Value;
+  AssignStmt(SourceLocation Loc, std::string Name, ExprPtr Value)
+      : Stmt(StmtKind::Assign, Loc), Name(std::move(Name)),
+        Value(std::move(Value)) {}
+};
+
+struct ArrayAssignStmt : Stmt {
+  std::string Name;
+  SymbolID Sym = InvalidSymbol;
+  std::vector<ExprPtr> Indices;
+  ExprPtr Value;
+  ArrayAssignStmt(SourceLocation Loc, std::string Name,
+                  std::vector<ExprPtr> Indices, ExprPtr Value)
+      : Stmt(StmtKind::ArrayAssign, Loc), Name(std::move(Name)),
+        Indices(std::move(Indices)), Value(std::move(Value)) {}
+};
+
+/// if/elseif/else; elseif chains are desugared by the parser into a nested
+/// IfStmt in the Else list.
+struct IfStmt : Stmt {
+  ExprPtr Cond;
+  std::vector<StmtPtr> Then;
+  std::vector<StmtPtr> Else;
+  IfStmt(SourceLocation Loc, ExprPtr Cond)
+      : Stmt(StmtKind::If, Loc), Cond(std::move(Cond)) {}
+};
+
+/// Counted loop: do i = lo, hi [, step] ... end do. Step must be a nonzero
+/// integer constant (checked by sema).
+struct DoStmt : Stmt {
+  std::string IndexName;
+  SymbolID IndexSym = InvalidSymbol;
+  ExprPtr Lower;
+  ExprPtr Upper;
+  int64_t Step = 1;
+  std::vector<StmtPtr> Body;
+  DoStmt(SourceLocation Loc, std::string IndexName)
+      : Stmt(StmtKind::Do, Loc), IndexName(std::move(IndexName)) {}
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  std::vector<StmtPtr> Body;
+  WhileStmt(SourceLocation Loc, ExprPtr Cond)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)) {}
+};
+
+struct CallStmt : Stmt {
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  CallStmt(SourceLocation Loc, std::string Callee, std::vector<ExprPtr> Args)
+      : Stmt(StmtKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+};
+
+struct PrintStmt : Stmt {
+  ExprPtr Value;
+  PrintStmt(SourceLocation Loc, ExprPtr Value)
+      : Stmt(StmtKind::Print, Loc), Value(std::move(Value)) {}
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr Value; ///< null for subroutine return
+  ReturnStmt(SourceLocation Loc, ExprPtr Value)
+      : Stmt(StmtKind::Return, Loc), Value(std::move(Value)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations and procedures
+//===----------------------------------------------------------------------===//
+
+/// One declarator in a declaration: a name with optional array dimensions.
+/// "a(10)" means bounds 1:10; "a(0:9, 1:n)" is rejected (bounds must be
+/// integer constants).
+struct Declarator {
+  SourceLocation Loc;
+  std::string Name;
+  std::vector<std::pair<int64_t, int64_t>> Dims; ///< empty for scalars
+};
+
+/// One declaration line: a type applied to declarators.
+struct Decl {
+  SourceLocation Loc;
+  ScalarType Ty = ScalarType::Int;
+  std::vector<Declarator> Vars;
+};
+
+enum class UnitKind {
+  Program,
+  Subroutine,
+  Function,
+};
+
+/// One compilation unit: the program, a subroutine, or a function.
+struct ProcedureAST {
+  UnitKind Kind = UnitKind::Program;
+  SourceLocation Loc;
+  std::string Name;
+  std::vector<std::string> Params;
+  std::optional<ScalarType> ResultTy; ///< engaged for functions
+  std::vector<Decl> Decls;
+  std::vector<StmtPtr> Body;
+};
+
+/// A whole source file.
+struct ProgramAST {
+  std::vector<std::unique_ptr<ProcedureAST>> Units;
+
+  /// Finds a unit by name; null when absent.
+  ProcedureAST *find(const std::string &Name) const {
+    for (const auto &U : Units)
+      if (U->Name == Name)
+        return U.get();
+    return nullptr;
+  }
+};
+
+} // namespace nascent
+
+#endif // NASCENT_LANG_AST_H

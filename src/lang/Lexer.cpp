@@ -1,0 +1,285 @@
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace nascent;
+
+const char *nascent::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::RealLiteral:
+    return "real literal";
+  case TokenKind::KwProgram:
+    return "'program'";
+  case TokenKind::KwSubroutine:
+    return "'subroutine'";
+  case TokenKind::KwFunction:
+    return "'function'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwInteger:
+    return "'integer'";
+  case TokenKind::KwReal:
+    return "'real'";
+  case TokenKind::KwLogical:
+    return "'logical'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElseif:
+    return "'elseif'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwCall:
+    return "'call'";
+  case TokenKind::KwPrint:
+    return "'print'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwAnd:
+    return "'and'";
+  case TokenKind::KwOr:
+    return "'or'";
+  case TokenKind::KwNot:
+    return "'not'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'/='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string Source) : Src(std::move(Source)) {}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (C == '!') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+    } else if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::lexNumber() {
+  SourceLocation Loc = here();
+  std::string Digits;
+  bool IsReal = false;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Digits += advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peekAhead()))) {
+    IsReal = true;
+    Digits += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    std::string Exp;
+    Exp += advance();
+    if (peek() == '+' || peek() == '-')
+      Exp += advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      IsReal = true;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Exp += advance();
+      Digits += Exp;
+    } else {
+      // Not an exponent after all (e.g. identifier following); rewind the
+      // consumed characters. Column bookkeeping tolerates this because
+      // numbers never span lines.
+      Column -= static_cast<unsigned>(Pos - Save);
+      Pos = Save;
+    }
+  }
+  Token T;
+  T.Loc = Loc;
+  if (IsReal) {
+    T.Kind = TokenKind::RealLiteral;
+    T.RealValue = std::strtod(Digits.c_str(), nullptr);
+  } else {
+    T.Kind = TokenKind::IntLiteral;
+    T.IntValue = std::strtoll(Digits.c_str(), nullptr, 10);
+  }
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"program", TokenKind::KwProgram},
+      {"subroutine", TokenKind::KwSubroutine},
+      {"function", TokenKind::KwFunction},
+      {"end", TokenKind::KwEnd},
+      {"integer", TokenKind::KwInteger},
+      {"real", TokenKind::KwReal},
+      {"logical", TokenKind::KwLogical},
+      {"if", TokenKind::KwIf},
+      {"then", TokenKind::KwThen},
+      {"elseif", TokenKind::KwElseif},
+      {"else", TokenKind::KwElse},
+      {"do", TokenKind::KwDo},
+      {"while", TokenKind::KwWhile},
+      {"call", TokenKind::KwCall},
+      {"print", TokenKind::KwPrint},
+      {"return", TokenKind::KwReturn},
+      {"and", TokenKind::KwAnd},
+      {"or", TokenKind::KwOr},
+      {"not", TokenKind::KwNot},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+  };
+  SourceLocation Loc = here();
+  std::string Name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Name += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(advance())));
+  Token T;
+  T.Loc = Loc;
+  auto It = Keywords.find(Name);
+  if (It != Keywords.end()) {
+    T.Kind = It->second;
+  } else {
+    T.Kind = TokenKind::Identifier;
+    T.Text = std::move(Name);
+  }
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  if (Pos >= Src.size()) {
+    Token T;
+    T.Kind = TokenKind::Eof;
+    T.Loc = here();
+    return T;
+  }
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier();
+
+  SourceLocation Loc = here();
+  advance();
+  Token T;
+  T.Loc = Loc;
+  switch (C) {
+  case '=':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::EqEq;
+    } else {
+      T.Kind = TokenKind::Assign;
+    }
+    return T;
+  case '/':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::NotEq;
+    } else {
+      T.Kind = TokenKind::Slash;
+    }
+    return T;
+  case '<':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::LessEq;
+    } else {
+      T.Kind = TokenKind::Less;
+    }
+    return T;
+  case '>':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::GreaterEq;
+    } else {
+      T.Kind = TokenKind::Greater;
+    }
+    return T;
+  case '+':
+    T.Kind = TokenKind::Plus;
+    return T;
+  case '-':
+    T.Kind = TokenKind::Minus;
+    return T;
+  case '*':
+    T.Kind = TokenKind::Star;
+    return T;
+  case '(':
+    T.Kind = TokenKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokenKind::RParen;
+    return T;
+  case ',':
+    T.Kind = TokenKind::Comma;
+    return T;
+  case ':':
+    T.Kind = TokenKind::Colon;
+    return T;
+  default:
+    T.Kind = TokenKind::Error;
+    T.Text = std::string("unexpected character '") + C + "'";
+    return T;
+  }
+}

@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for mini-Fortran. Whitespace and newlines are
+/// insignificant; comments run from '!' to end of line. Identifiers and
+/// keywords are case-insensitive (folded to lower case), as in Fortran.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_LANG_LEXER_H
+#define NASCENT_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string>
+
+namespace nascent {
+
+/// Lexes one source buffer into tokens on demand.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes and returns the next token (Eof at end of input; Error tokens
+  /// carry a message and the lexer recovers by skipping the bad character).
+  Token next();
+
+private:
+  char peek() const { return Pos < Src.size() ? Src[Pos] : '\0'; }
+  char peekAhead() const { return Pos + 1 < Src.size() ? Src[Pos + 1] : '\0'; }
+  char advance();
+  void skipTrivia();
+  SourceLocation here() const { return SourceLocation(Line, Column); }
+
+  Token lexNumber();
+  Token lexIdentifier();
+
+  std::string Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace nascent
+
+#endif // NASCENT_LANG_LEXER_H

@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of the mini-Fortran language. The language is a small
+/// Fortran-flavoured imperative language: enough to express the paper's
+/// benchmark programs (multi-dimensional constant-bound arrays, counted
+/// do loops, while loops, procedures) without the full F77 grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_LANG_TOKEN_H
+#define NASCENT_LANG_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace nascent {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  RealLiteral,
+  // Keywords
+  KwProgram,
+  KwSubroutine,
+  KwFunction,
+  KwEnd,
+  KwInteger,
+  KwReal,
+  KwLogical,
+  KwIf,
+  KwThen,
+  KwElseif,
+  KwElse,
+  KwDo,
+  KwWhile,
+  KwCall,
+  KwPrint,
+  KwReturn,
+  KwAnd,
+  KwOr,
+  KwNot,
+  KwTrue,
+  KwFalse,
+  // Punctuation and operators
+  Assign,    // =
+  EqEq,      // ==
+  NotEq,     // /=
+  Less,      // <
+  LessEq,    // <=
+  Greater,   // >
+  GreaterEq, // >=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  LParen,
+  RParen,
+  Comma,
+  Colon,
+  Error, ///< lexical error; Text holds the message
+};
+
+/// Returns a printable name for \p K (used in parse diagnostics).
+const char *tokenKindName(TokenKind K);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLocation Loc;
+  std::string Text;     ///< identifier spelling or error message
+  int64_t IntValue = 0; ///< for IntLiteral
+  double RealValue = 0; ///< for RealLiteral
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace nascent
+
+#endif // NASCENT_LANG_TOKEN_H

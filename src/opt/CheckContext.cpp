@@ -1,0 +1,176 @@
+#include "opt/CheckContext.h"
+
+using namespace nascent;
+
+CheckContext::CheckContext(const Function &F, ImplicationMode Mode,
+                           const std::vector<PreheaderFact> &Facts)
+    : F(F), Mode(Mode),
+      U(/*FamilyPerCheck=*/Mode == ImplicationMode::None), CIG(U, Mode) {
+  buildUniverse(Facts);
+  buildBlockSets();
+}
+
+void CheckContext::buildUniverse(const std::vector<PreheaderFact> &Facts) {
+  InstCheck.assign(F.numBlocks(), {});
+  for (const auto &BB : F) {
+    auto &Ids = InstCheck[BB->id()];
+    Ids.assign(BB->size(), InvalidCheck);
+    for (size_t Idx = 0; Idx != BB->size(); ++Idx) {
+      const Instruction &I = BB->instructions()[Idx];
+      if (I.Op != Opcode::Check)
+        continue;
+      CheckID C = U.intern(I.Check);
+      Ids[Idx] = C;
+      if (RepOrigin.size() <= C)
+        RepOrigin.resize(C + 1);
+      if (RepOrigin[C].ArrayName.empty())
+        RepOrigin[C] = I.Origin;
+    }
+  }
+  // Conditional checks participate through their facts; also intern their
+  // main payloads so closures can reference them.
+  std::vector<std::pair<BlockID, CheckID>> FactIds;
+  for (const PreheaderFact &PF : Facts)
+    FactIds.push_back({PF.BodyEntry, U.intern(PF.Fact)});
+  RepOrigin.resize(U.size());
+
+  GenIn.assign(F.numBlocks(), DenseBitVector(U.size()));
+  for (auto &[Block, C] : FactIds) {
+    DenseBitVector Closure(U.size());
+    CIG.weakerClosure(C, Closure);
+    GenIn[Block] |= Closure;
+  }
+}
+
+void CheckContext::applyKill(const Instruction &I,
+                             DenseBitVector &Bits) const {
+  if (I.Dest == InvalidSymbol)
+    return;
+  for (CheckID C : U.checksUsingSymbol(I.Dest))
+    Bits.reset(C);
+}
+
+void CheckContext::applyAvailGen(BlockID B, size_t Idx, const Instruction &I,
+                                 DenseBitVector &Bits) const {
+  if (I.Op != Opcode::Check)
+    return;
+  CheckID C = InstCheck[B][Idx];
+  if (C == InvalidCheck)
+    return;
+  Bits |= weakerClosure(C);
+}
+
+void CheckContext::applyAnticGen(BlockID B, size_t Idx, const Instruction &I,
+                                 DenseBitVector &Bits) const {
+  if (I.Op != Opcode::Check)
+    return;
+  CheckID C = InstCheck[B][Idx];
+  if (C == InvalidCheck)
+    return;
+  Bits |= weakerClosureSameFamily(C);
+}
+
+const DenseBitVector &CheckContext::weakerClosure(CheckID C) const {
+  if (ClosureCache.size() != U.size()) {
+    ClosureCache.assign(U.size(), DenseBitVector(U.size()));
+    ClosureValid.assign(U.size(), false);
+  }
+  if (!ClosureValid[C]) {
+    ClosureCache[C] = DenseBitVector(U.size());
+    CIG.weakerClosure(C, ClosureCache[C]);
+    ClosureValid[C] = true;
+  }
+  return ClosureCache[C];
+}
+
+const DenseBitVector &
+CheckContext::weakerClosureSameFamily(CheckID C) const {
+  if (FamClosureCache.size() != U.size()) {
+    FamClosureCache.assign(U.size(), DenseBitVector(U.size()));
+    FamClosureValid.assign(U.size(), false);
+  }
+  if (!FamClosureValid[C]) {
+    FamClosureCache[C] = DenseBitVector(U.size());
+    CIG.weakerClosureSameFamily(C, FamClosureCache[C]);
+    FamClosureValid[C] = true;
+  }
+  return FamClosureCache[C];
+}
+
+void CheckContext::buildBlockSets() {
+  size_t N = U.size();
+  Kill.assign(F.numBlocks(), DenseBitVector(N));
+  AvailGen.assign(F.numBlocks(), DenseBitVector(N));
+  AnticGen.assign(F.numBlocks(), DenseBitVector(N));
+
+  for (const auto &BB : F) {
+    BlockID B = BB->id();
+
+    // Kill: union over definitions.
+    for (const Instruction &I : BB->instructions()) {
+      if (I.Dest == InvalidSymbol)
+        continue;
+      for (CheckID C : U.checksUsingSymbol(I.Dest))
+        Kill[B].set(C);
+    }
+
+    // Availability gen: forward scan starting from the entry facts.
+    DenseBitVector Running = GenIn[B];
+    for (size_t Idx = 0; Idx != BB->size(); ++Idx) {
+      const Instruction &I = BB->instructions()[Idx];
+      applyKill(I, Running);
+      applyAvailGen(B, Idx, I, Running);
+    }
+    AvailGen[B] = std::move(Running);
+
+    // Anticipatability gen: backward scan from an empty exit set.
+    DenseBitVector Back(N);
+    for (size_t Idx = BB->size(); Idx-- > 0;) {
+      const Instruction &I = BB->instructions()[Idx];
+      applyKill(I, Back);
+      applyAnticGen(B, Idx, I, Back);
+    }
+    AnticGen[B] = std::move(Back);
+  }
+}
+
+DataflowResult CheckContext::solveAvailability() const {
+  DataflowProblem P;
+  P.Dir = DataflowProblem::Direction::Forward;
+  P.MeetOp = DataflowProblem::Meet::Intersect;
+  P.UniverseSize = U.size();
+  P.Gen = AvailGen;
+  P.Kill = Kill;
+  return solveDataflow(F, P);
+}
+
+DataflowResult CheckContext::solveAnticipatability() const {
+  DataflowProblem P;
+  P.Dir = DataflowProblem::Direction::Backward;
+  P.MeetOp = DataflowProblem::Meet::Intersect;
+  P.UniverseSize = U.size();
+  P.Gen = AnticGen;
+  P.Kill = Kill;
+  return solveDataflow(F, P);
+}
+
+bool CheckContext::locallyAnticipates(BlockID B, CheckID C) const {
+  const BasicBlock *BB = F.block(B);
+  for (size_t Idx = 0; Idx != BB->size(); ++Idx) {
+    const Instruction &I = BB->instructions()[Idx];
+    if (I.Dest != InvalidSymbol) {
+      bool Killed = false;
+      for (CheckID K : U.checksUsingSymbol(I.Dest))
+        if (K == C) {
+          Killed = true;
+          break;
+        }
+      if (Killed)
+        return false;
+    }
+    if (I.Op == Opcode::Check && InstCheck[B][Idx] != InvalidCheck &&
+        CIG.isAsStrongAs(InstCheck[B][Idx], C))
+      return true;
+  }
+  return false;
+}

@@ -1,0 +1,125 @@
+#include "opt/Elimination.h"
+
+using namespace nascent;
+
+EliminationStats
+nascent::eliminateRedundantChecks(Function &F, const CheckContext &Ctx) {
+  EliminationStats Stats;
+  if (Ctx.universe().size() == 0)
+    return Stats;
+
+  F.recomputePreds();
+  DataflowResult Avail = Ctx.solveAvailability();
+
+  for (auto &BB : F) {
+    BlockID B = BB->id();
+    DenseBitVector Cur = Avail.In[B];
+    Cur |= Ctx.genInBits(B);
+
+    std::vector<size_t> ToDelete;
+    for (size_t Idx = 0; Idx != BB->size(); ++Idx) {
+      const Instruction &I = BB->instructions()[Idx];
+      Ctx.applyKill(I, Cur);
+      if (I.Op == Opcode::Check) {
+        CheckID C = Ctx.idOf(B, Idx);
+        if (C != InvalidCheck && Cur.test(C)) {
+          ToDelete.push_back(Idx);
+          continue; // a deleted check generates nothing
+        }
+      }
+      Ctx.applyAvailGen(B, Idx, I, Cur);
+    }
+    for (auto It = ToDelete.rbegin(); It != ToDelete.rend(); ++It) {
+      BB->instructions().erase(BB->instructions().begin() +
+                               static_cast<ptrdiff_t>(*It));
+      ++Stats.ChecksDeleted;
+    }
+  }
+  return Stats;
+}
+
+EliminationStats
+nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags) {
+  EliminationStats Stats;
+  for (auto &BB : F) {
+    auto &Insts = BB->instructions();
+    for (size_t Idx = 0; Idx < Insts.size();) {
+      Instruction &I = Insts[Idx];
+      if (I.Op == Opcode::Check) {
+        if (!I.Check.isCompileTimeConstant()) {
+          ++Idx;
+          continue;
+        }
+        if (I.Check.evaluatesToTrue()) {
+          Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
+          ++Stats.CompileTimeDeleted;
+          continue;
+        }
+        // Always fails: report and replace with a TRAP terminator; the
+        // rest of the block is unreachable.
+        Diags.warning(I.Origin.Loc,
+                      "array range violation detected at compile time" +
+                          (I.Origin.ArrayName.empty()
+                               ? std::string()
+                               : " (array " + I.Origin.ArrayName + ")"));
+        Instruction Trap;
+        Trap.Op = Opcode::Trap;
+        Trap.Origin = I.Origin;
+        Insts.resize(Idx);
+        Insts.push_back(std::move(Trap));
+        ++Stats.CompileTimeTraps;
+        break; // block is now terminated
+      }
+      if (I.Op == Opcode::CondCheck) {
+        // Fold constant guards.
+        bool GuardFalse = false;
+        for (size_t G = 0; G < I.Guards.size();) {
+          if (!I.Guards[G].isCompileTimeConstant()) {
+            ++G;
+            continue;
+          }
+          if (I.Guards[G].evaluatesToTrue()) {
+            I.Guards.erase(I.Guards.begin() + static_cast<ptrdiff_t>(G));
+            ++Stats.GuardsFolded;
+          } else {
+            GuardFalse = true;
+            break;
+          }
+        }
+        if (GuardFalse) {
+          Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
+          ++Stats.CompileTimeDeleted;
+          continue;
+        }
+        if (I.Check.isCompileTimeConstant() && I.Check.evaluatesToTrue()) {
+          Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
+          ++Stats.CompileTimeDeleted;
+          continue;
+        }
+        if (I.Guards.empty()) {
+          if (I.Check.isCompileTimeConstant()) {
+            // Unconditional and always failing.
+            Diags.warning(I.Origin.Loc,
+                          "array range violation detected at compile time" +
+                              (I.Origin.ArrayName.empty()
+                                   ? std::string()
+                                   : " (array " + I.Origin.ArrayName + ")"));
+            Instruction Trap;
+            Trap.Op = Opcode::Trap;
+            Trap.Origin = I.Origin;
+            Insts.resize(Idx);
+            Insts.push_back(std::move(Trap));
+            ++Stats.CompileTimeTraps;
+            break;
+          }
+          // All guards folded away: demote to a plain check.
+          I.Op = Opcode::Check;
+        }
+        ++Idx;
+        continue;
+      }
+      ++Idx;
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,199 @@
+#include "opt/RangeCheckOptimizer.h"
+
+#include "opt/CheckContext.h"
+#include "opt/CheckStrengthening.h"
+#include "opt/Elimination.h"
+#include "opt/LazyCodeMotion.h"
+#include "opt/IntervalAnalysis.h"
+#include "opt/PreheaderInsertion.h"
+
+using namespace nascent;
+
+bool nascent::parsePlacementScheme(const std::string &Name,
+                                   PlacementScheme &Out) {
+  if (Name == "NI")
+    Out = PlacementScheme::NI;
+  else if (Name == "CS")
+    Out = PlacementScheme::CS;
+  else if (Name == "LNI")
+    Out = PlacementScheme::LNI;
+  else if (Name == "SE")
+    Out = PlacementScheme::SE;
+  else if (Name == "LI")
+    Out = PlacementScheme::LI;
+  else if (Name == "LLS")
+    Out = PlacementScheme::LLS;
+  else if (Name == "ALL")
+    Out = PlacementScheme::ALL;
+  else if (Name == "MCM")
+    Out = PlacementScheme::MCM;
+  else if (Name == "AI")
+    Out = PlacementScheme::AI;
+  else
+    return false;
+  return true;
+}
+
+const char *nascent::placementSchemeName(PlacementScheme S) {
+  switch (S) {
+  case PlacementScheme::NI:
+    return "NI";
+  case PlacementScheme::CS:
+    return "CS";
+  case PlacementScheme::LNI:
+    return "LNI";
+  case PlacementScheme::SE:
+    return "SE";
+  case PlacementScheme::LI:
+    return "LI";
+  case PlacementScheme::LLS:
+    return "LLS";
+  case PlacementScheme::ALL:
+    return "ALL";
+  case PlacementScheme::MCM:
+    return "MCM";
+  case PlacementScheme::AI:
+    return "AI";
+  }
+  return "?";
+}
+
+OptimizerStats &OptimizerStats::operator+=(const OptimizerStats &R) {
+  ChecksBefore += R.ChecksBefore;
+  ChecksAfter += R.ChecksAfter;
+  ChecksDeleted += R.ChecksDeleted;
+  ChecksInserted += R.ChecksInserted;
+  CondChecksInserted += R.CondChecksInserted;
+  ChecksStrengthened += R.ChecksStrengthened;
+  Rehoisted += R.Rehoisted;
+  CompileTimeDeleted += R.CompileTimeDeleted;
+  CompileTimeTraps += R.CompileTimeTraps;
+  IntervalDeleted += R.IntervalDeleted;
+  UniverseSize += R.UniverseSize;
+  NumFamilies += R.NumFamilies;
+  return *this;
+}
+
+namespace {
+
+unsigned countStaticChecks(const Function &F) {
+  unsigned N = 0;
+  for (const auto &BB : F)
+    for (const Instruction &I : BB->instructions())
+      if (I.isRangeCheck())
+        ++N;
+  return N;
+}
+
+} // namespace
+
+OptimizerStats nascent::optimizeFunction(Function &F,
+                                         const RangeCheckOptions &Opts,
+                                         DiagnosticEngine &Diags) {
+  OptimizerStats Stats;
+  Stats.ChecksBefore = countStaticChecks(F);
+
+  // PRE-style insertion works on edges: normalise the CFG first.
+  F.splitCriticalEdges();
+
+  std::vector<PreheaderFact> Facts;
+
+  // Step 1-3: build the universe/CIG and insert checks per scheme.
+  switch (Opts.Scheme) {
+  case PlacementScheme::NI:
+    break;
+  case PlacementScheme::CS: {
+    CheckContext Ctx(F, Opts.Implications);
+    Stats.UniverseSize = Ctx.universe().size();
+    Stats.NumFamilies = Ctx.universe().numFamilies();
+    Stats.ChecksStrengthened = runCheckStrengthening(F, Ctx).ChecksStrengthened;
+    break;
+  }
+  case PlacementScheme::SE:
+  case PlacementScheme::LNI: {
+    CheckContext Ctx(F, Opts.Implications);
+    Stats.UniverseSize = Ctx.universe().size();
+    Stats.NumFamilies = Ctx.universe().numFamilies();
+    Stats.ChecksInserted =
+        runLazyCodeMotion(F, Ctx,
+                          Opts.Scheme == PlacementScheme::SE
+                              ? LCMPlacement::SafeEarliest
+                              : LCMPlacement::LatestNotIsolated)
+            .ChecksInserted;
+    break;
+  }
+  case PlacementScheme::LI:
+  case PlacementScheme::LLS:
+  case PlacementScheme::MCM: {
+    CheckContext Ctx(F, Opts.Implications);
+    Stats.UniverseSize = Ctx.universe().size();
+    Stats.NumFamilies = Ctx.universe().numFamilies();
+    PreheaderOptions PO;
+    PO.EnableLLS = Opts.Scheme != PlacementScheme::LI;
+    PO.MarksteinRestriction = Opts.Scheme == PlacementScheme::MCM;
+    PreheaderStats PS = runPreheaderInsertion(F, Ctx, PO, Facts);
+    Stats.CondChecksInserted = PS.CondChecksInserted;
+    Stats.Rehoisted = PS.Rehoisted;
+    break;
+  }
+  case PlacementScheme::AI: {
+    IntervalStats IS = eliminateChecksByIntervals(F, Diags);
+    Stats.IntervalDeleted = IS.ChecksProvedRedundant;
+    Stats.CompileTimeTraps += IS.ChecksProvedViolating;
+    break;
+  }
+  case PlacementScheme::ALL: {
+    {
+      CheckContext Ctx(F, Opts.Implications);
+      Stats.UniverseSize = Ctx.universe().size();
+      Stats.NumFamilies = Ctx.universe().numFamilies();
+      PreheaderOptions PO;
+      PreheaderStats PS = runPreheaderInsertion(F, Ctx, PO, Facts);
+      Stats.CondChecksInserted = PS.CondChecksInserted;
+      Stats.Rehoisted = PS.Rehoisted;
+    }
+    {
+      // Safe-earliest over the LLS result; the fresh context carries the
+      // preheader facts so LCM sees the hoisted availability.
+      CheckContext Ctx(F, Opts.Implications, Facts);
+      Stats.ChecksInserted =
+          runLazyCodeMotion(F, Ctx, LCMPlacement::SafeEarliest)
+              .ChecksInserted;
+    }
+    break;
+  }
+  }
+
+  // Step 4: availability-based elimination on the post-insertion IR. The
+  // universe statistics reported are those of this final context (for NI
+  // no earlier context exists). The AI extension skips this on purpose:
+  // the abstract-interpretation school it models performs no insertion
+  // and no redundancy elimination (paper section 5).
+  if (Opts.Scheme != PlacementScheme::AI) {
+    CheckContext Ctx(F, Opts.Implications, Facts);
+    Stats.UniverseSize = Ctx.universe().size();
+    Stats.NumFamilies = Ctx.universe().numFamilies();
+    EliminationStats ES = eliminateRedundantChecks(F, Ctx);
+    Stats.ChecksDeleted = ES.ChecksDeleted;
+  }
+
+  // Step 5: compile-time checks.
+  {
+    EliminationStats ES = foldCompileTimeChecks(F, Diags);
+    Stats.CompileTimeDeleted = ES.CompileTimeDeleted;
+    Stats.CompileTimeTraps = ES.CompileTimeTraps;
+    F.recomputePreds();
+  }
+
+  Stats.ChecksAfter = countStaticChecks(F);
+  return Stats;
+}
+
+OptimizerStats nascent::optimizeModule(Module &M,
+                                       const RangeCheckOptions &Opts,
+                                       DiagnosticEngine &Diags) {
+  OptimizerStats Total;
+  for (Function *F : M.functions())
+    Total += optimizeFunction(*F, Opts, Diags);
+  return Total;
+}

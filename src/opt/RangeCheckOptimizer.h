@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The range-check optimizer: the paper's five-step algorithm with its
+/// seven check-placement schemes (section 3.3 / 4.2) and the implication
+/// ablation modes (section 4.4). This is the primary public entry point
+/// of the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_OPT_RANGECHECKOPTIMIZER_H
+#define NASCENT_OPT_RANGECHECKOPTIMIZER_H
+
+#include "ir/Function.h"
+#include "checks/CheckImplicationGraph.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace nascent {
+
+/// Check placement schemes, exactly the paper's seven.
+enum class PlacementScheme {
+  NI,  ///< redundancy elimination, no insertion
+  CS,  ///< check strengthening only
+  LNI, ///< latest-not-isolated PRE placement
+  SE,  ///< safe-earliest PRE placement
+  LI,  ///< preheader insertion of loop-invariant checks
+  LLS, ///< preheader insertion with loop-limit substitution
+  ALL, ///< LLS followed by SE
+  /// Extension (not one of the paper's seven): the restricted preheader
+  /// scheme of Markstein, Cocke, and Markstein (1982), which the paper
+  /// proposes comparing against as future work -- only simple checks in
+  /// articulation blocks of loop bodies are hoisted.
+  MCM,
+  /// Extension: compile-time-only elimination via value-range (interval)
+  /// analysis, standing in for the abstract-interpretation school the
+  /// paper contrasts with in section 5 (Cousot/Harrison/Ada compilers).
+  /// No checks are moved or inserted; only statically discharged.
+  AI,
+};
+
+/// Parses/prints scheme names ("NI", "CS", ...). Returns false on unknown
+/// names.
+bool parsePlacementScheme(const std::string &Name, PlacementScheme &Out);
+const char *placementSchemeName(PlacementScheme S);
+
+/// Optimizer configuration.
+struct RangeCheckOptions {
+  PlacementScheme Scheme = PlacementScheme::LLS;
+  /// Which implications between checks may be exploited; None gives the
+  /// paper's primed variants (NI', SE'), CrossFamilyOnly gives LLS'.
+  ImplicationMode Implications = ImplicationMode::All;
+};
+
+/// Aggregate statistics of one optimizer run.
+struct OptimizerStats {
+  unsigned ChecksBefore = 0;
+  unsigned ChecksAfter = 0; ///< static checks remaining (incl. cond checks)
+  unsigned ChecksDeleted = 0;
+  unsigned ChecksInserted = 0; ///< LCM-inserted plain checks
+  unsigned CondChecksInserted = 0;
+  unsigned ChecksStrengthened = 0;
+  unsigned Rehoisted = 0;
+  unsigned CompileTimeDeleted = 0;
+  unsigned CompileTimeTraps = 0;
+  unsigned IntervalDeleted = 0; ///< AI scheme: proved redundant by ranges
+  size_t UniverseSize = 0;
+  size_t NumFamilies = 0;
+
+  OptimizerStats &operator+=(const OptimizerStats &R);
+};
+
+/// Optimizes the range checks of one function in place.
+OptimizerStats optimizeFunction(Function &F, const RangeCheckOptions &Opts,
+                                DiagnosticEngine &Diags);
+
+/// Optimizes every function of \p M.
+OptimizerStats optimizeModule(Module &M, const RangeCheckOptions &Opts,
+                              DiagnosticEngine &Diags);
+
+} // namespace nascent
+
+#endif // NASCENT_OPT_RANGECHECKOPTIMIZER_H

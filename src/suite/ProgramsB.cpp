@@ -1,0 +1,430 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Suite programs 6-10: qcd, spec77, trfd, linpackd, simple. See Suite.h
+/// for the substitution rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace nascent {
+namespace suite_sources {
+
+/// qcd (Perfect): lattice gauge theory. Periodic neighbours are computed
+/// with mod, which is not affine: neighbour subscripts computed in the
+/// outer loop hoist only one level, and those computed in the inner loop
+/// not at all -- qcd keeps the largest residual of the suite, as in the
+/// paper's Table 2.
+const char *QcdSource = R"FTN(
+program qcd
+  integer n, i, j, s, steps, ip, im, jp
+  real u1(28, 28), u2(28, 28), act(28, 28)
+  real staple, beta, accum
+
+  n = input(24)
+  steps = input(3)
+  beta = 0.25
+
+  do i = 1, n
+    do j = 1, n
+      u1(i, j) = real(mod(i * 3 + j * 5, 9)) * 0.2
+      u2(i, j) = real(mod(i * 5 + j * 3, 7)) * 0.3
+      act(i, j) = 0.0
+    end do
+  end do
+
+  do s = 1, steps
+    do i = 1, n
+      ip = mod(i, n) + 1
+      im = mod(i + n - 2, n) + 1
+      do j = 1, n
+        jp = mod(j, n) + 1
+        staple = u1(ip, j) * u2(i, jp) - u1(im, j) * u2(i, j)
+        act(i, j) = act(i, j) + beta * staple
+        u1(i, j) = u1(i, j) + beta * (u2(i, j) - staple) * 0.1
+        u2(i, j) = u2(i, j) - beta * (u1(i, j) + staple) * 0.1
+        act(i, j) = act(i, j) * 0.999 + (u1(i, j) + u2(i, j)) * 0.001
+      end do
+    end do
+  end do
+
+  accum = 0.0
+  do i = 1, n
+    do j = 1, n
+      accum = accum + act(i, j) + u1(i, j)
+    end do
+  end do
+  print accum
+end program
+
+! Problem sizes arrive through an opaque input routine, like the
+! READ statements of the original benchmarks: the compiler cannot
+! constant-fold them.
+function input(x) : integer
+  integer x
+  return x
+end function
+)FTN";
+
+/// spec77 (Perfect): spectral weather model. Triangular wavenumber loops
+/// whose packed subscripts are quadratic (not hoistable), Legendre-style
+/// recurrences, and strided butterfly loops with coefficient-2 subscripts
+/// (hoistable by loop-limit substitution).
+const char *Spec77Source = R"FTN(
+program spec77
+  integer mm, m, n2, k, j, s, steps, pass, ind, half
+  real coef(600), work(70), tt(70), leg(34)
+  real accum
+
+  mm = input(20)
+  half = input(32)
+  steps = input(3)
+
+  do k = 1, 600
+    coef(k) = real(mod(k * 7, 23)) * 0.04
+  end do
+  do k = 1, 70
+    work(k) = 0.0
+    tt(k) = real(mod(k * 3, 11)) * 0.2
+  end do
+
+  do s = 1, steps
+    ! Triangular spectral sum with packed quadratic subscripts: these
+    ! computed indices resist hoisting and form spec77's residual.
+    do m = 1, mm
+      leg(m) = 0.0
+      do n2 = m, mm
+        ind = (n2 * (n2 - 1)) / 2 + m
+        leg(m) = leg(m) + coef(ind) * tt(n2) + coef(ind) * 0.001 - tt(n2) * leg(m) * 0.0001 + coef(ind) * tt(n2) * 0.00001
+      end do
+    end do
+    ! Legendre-style recurrence (linear subscripts, heavy reuse).
+    do m = 3, mm
+      leg(m) = 0.3 * leg(m) + 0.4 * leg(m - 1) - 0.2 * leg(m - 2) + 0.01 * (leg(m - 1) - leg(m - 2))
+    end do
+    ! Repeated butterfly passes with stride-2 subscripts.
+    do pass = 1, 6
+      do j = 1, half
+        work(2 * j - 1) = tt(2 * j - 1) + tt(2 * j)
+        work(2 * j) = tt(2 * j - 1) - tt(2 * j)
+      end do
+      do j = 1, half
+        tt(2 * j - 1) = work(2 * j - 1) * 0.5 + work(2 * j) * 0.25 + tt(2 * j - 1) * 0.001
+        tt(2 * j) = work(2 * j) * 0.5 - work(2 * j - 1) * 0.25 + tt(2 * j) * 0.001
+      end do
+      ! Grid-space smoothing with reuse across both halves; the limiter
+      ! branch touches work(j) on one path only, so the stores after the
+      ! join are partially redundant.
+      do j = 2, half - 1
+        work(j) = 0.25 * (tt(j - 1) + tt(j + 1)) + 0.5 * tt(j) + 0.125 * (tt(j - 1) - tt(j + 1))
+        if (work(j) > 4.0) then
+          work(j) = 4.0
+        end if
+        tt(j + half) = work(j) * 0.9 + tt(j + half) * 0.1
+      end do
+    end do
+    ! Fold the spectral sums back into the grid coefficients (linear row
+    ! offsets, hoistable).
+    do m = 1, mm
+      do n2 = 1, mm
+        coef(m * 20 + n2) = coef(m * 20 + n2) * 0.99 + leg(m) * 0.01 + tt(n2) * 0.001
+      end do
+    end do
+  end do
+
+  accum = 0.0
+  do m = 1, mm
+    accum = accum + leg(m) + tt(m)
+  end do
+  print accum
+end program
+
+! Problem sizes arrive through an opaque input routine, like the
+! READ statements of the original benchmarks: the compiler cannot
+! constant-fold them.
+function input(x) : integer
+  integer x
+  return x
+end function
+)FTN";
+
+/// trfd (Perfect): two-electron integral transformation. Triangular index
+/// loops with running accumulators (ij = ij + 1) and offsets that are
+/// recomputed inside loops yet loop-invariant in value -- the pattern
+/// where induction-variable analysis (INX checks) detects invariance and
+/// linearity that the syntactic PRX checks miss.
+const char *TrfdSource = R"FTN(
+program trfd
+  integer norb, p, q2, k, ij, base, off, ia, s, steps
+  real xin(600), xout(600), vec(40), tmp(40)
+  real acc, accum
+
+  norb = input(30)
+  steps = input(3)
+
+  do k = 1, 600
+    xin(k) = real(mod(k * 13, 31)) * 0.05
+    xout(k) = 0.0
+  end do
+  do k = 1, 40
+    vec(k) = real(mod(k * 3, 7)) * 0.25
+    tmp(k) = 0.0
+  end do
+
+  do s = 1, steps
+    ! Triangular transform over packed rows: the row offset is computed
+    ! once per row, so the packed subscript off + q2 stays linear in the
+    ! inner index.
+    do p = 1, norb
+      off = (p * (p - 1)) / 2
+      do q2 = 1, p
+        xout(off + q2) = xout(off + q2) + xin(off + q2) * vec(p) * vec(q2)
+        xin(off + q2) = xin(off + q2) * 0.999 + xout(off + q2) * 0.0001 + vec(p) * vec(q2) * 0.00001
+      end do
+    end do
+    ! A second pass driven by a running accumulator subscript: only
+    ! induction-variable analysis can see that ij is linear.
+    ij = 0
+    do p = 1, norb
+      do q2 = 1, min(p, 6)
+        ij = ij + 1
+        tmp(q2) = tmp(q2) + xout(ij) * 0.001
+      end do
+    end do
+    ! Offsets recomputed inside the loop but invariant in value: the
+    ! subscript base + p is invariant-detectable only through induction
+    ! expressions, while ia + k is plainly linear.
+    do p = 1, norb
+      acc = 0.0
+      ia = (s - 1) * norb
+      do k = 1, norb
+        acc = acc + xin(ia + k) * vec(k) + xin(ia + k) * 0.001 - vec(k) * 0.0001
+      end do
+      ! The offset is recomputed every iteration, yet its value is loop
+      ! invariant: only the induction-expression form of the check can be
+      ! hoisted (the syntactic check is killed by the assignment to base).
+      do k = 1, 8
+        base = s * 30 - 30
+        acc = acc + xout(base + p) * 0.001 + xout(base + p) * 0.0001
+      end do
+      tmp(p) = acc * 0.5 + tmp(p)
+    end do
+    ! Dense sweep, fully linear.
+    do k = 1, norb
+      vec(k) = vec(k) * 0.9 + tmp(k) * 0.1
+    end do
+  end do
+
+  accum = 0.0
+  do k = 1, norb
+    accum = accum + vec(k) + tmp(k)
+  end do
+  do k = 1, 465
+    accum = accum + xout(k)
+  end do
+  print accum
+end program
+
+! Problem sizes arrive through an opaque input routine, like the
+! READ statements of the original benchmarks: the compiler cannot
+! constant-fold them.
+function input(x) : integer
+  integer x
+  return x
+end function
+)FTN";
+
+/// linpackd (Riceps): LU factorisation and solve with the classic BLAS-1
+/// kernels as subroutines (column scaling, axpy updates, max search); the
+/// compute lives inside callees whose loop bounds arrive as by-value
+/// scalar parameters.
+const char *LinpackdSource = R"FTN(
+program linpackd
+  integer n, i, j, k, rep
+  real a(40, 40), b(40), x(40)
+  real accum
+
+  n = input(36)
+
+  do rep = 1, 2
+    do i = 1, n
+      do j = 1, n
+        a(i, j) = real(mod(i * 17 + j * 23, 29)) * 0.04
+      end do
+      a(i, i) = a(i, i) + 8.0
+      b(i) = real(mod(i * 5, 11)) * 0.3
+    end do
+    call dgefa(a, n)
+    call dgesl(a, b, n)
+    do i = 1, n
+      x(i) = b(i)
+    end do
+    call dmxpy(a, x, b, n)
+  end do
+
+  accum = 0.0
+  do i = 1, n
+    accum = accum + x(i)
+  end do
+  print accum
+end program
+
+subroutine dgefa(a, n)
+  real a(40, 40), t
+  integer n, j, k
+  do k = 1, n - 1
+    call dscalcol(a, k, n)
+    do j = k + 1, n
+      t = a(k, j)
+      call daxpycol(a, k, j, t, n)
+    end do
+  end do
+end subroutine
+
+! Scale the subdiagonal of column k by -1/pivot.
+subroutine dscalcol(a, k, n)
+  real a(40, 40), piv
+  integer n, k, i
+  piv = a(k, k)
+  if (abs(piv) < 0.0001) then
+    piv = 1.0
+  end if
+  do i = k + 1, n
+    a(i, k) = 0.0 - a(i, k) / piv
+  end do
+end subroutine
+
+! Column axpy: a(i,j) = a(i,j) + t * a(i,k) below the diagonal.
+subroutine daxpycol(a, k, j, t, n)
+  real a(40, 40), t
+  integer n, k, j, i
+  do i = k + 1, n
+    a(i, j) = a(i, j) + t * a(i, k)
+  end do
+end subroutine
+
+! Dense matrix-vector accumulate, the verification kernel of linpack.
+subroutine dmxpy(a, xx, yy, n)
+  real a(40, 40), xx(40), yy(40)
+  integer n, i, j
+  do j = 1, n
+    do i = 1, n
+      yy(i) = yy(i) + a(i, j) * xx(j) + xx(j) * 0.0001 - a(i, j) * 0.00001
+    end do
+  end do
+end subroutine
+
+subroutine dgesl(a, b, n)
+  real a(40, 40), b(40), t
+  integer n, k, i
+  ! Forward elimination using the stored multipliers.
+  do k = 1, n - 1
+    t = b(k)
+    do i = k + 1, n
+      b(i) = b(i) + t * a(i, k)
+    end do
+  end do
+  ! Back substitution.
+  do k = n, 1, -1
+    b(k) = b(k) / a(k, k)
+    t = b(k)
+    do i = 1, k - 1
+      b(i) = b(i) - t * a(i, k)
+    end do
+  end do
+end subroutine
+
+! Problem sizes arrive through an opaque input routine, like the
+! READ statements of the original benchmarks: the compiler cannot
+! constant-fold them.
+function input(x) : integer
+  integer x
+  return x
+end function
+)FTN";
+
+/// simple (Riceps): 2D Lagrangian hydrodynamics. Large stencil sweeps
+/// with very heavy subscript reuse (the highest plain-redundancy numbers
+/// of the suite) plus an equation-of-state table lookup whose computed
+/// integer index resists hoisting.
+const char *SimpleSource = R"FTN(
+program simple
+  integer n, i, j, s, steps, k
+  real r(38, 38), z(38, 38), p(38, 38), e(38, 38), qq(38, 38)
+  real tab(50)
+  real dt, accum
+
+  n = input(34)
+  steps = input(3)
+  dt = 0.02
+
+  do i = 1, n
+    do j = 1, n
+      r(i, j) = real(i) + 0.1 * real(mod(j * 3, 7))
+      z(i, j) = real(j) + 0.1 * real(mod(i * 5, 9))
+      e(i, j) = real(mod(i + j, 13)) * 0.15 + 1.0
+      p(i, j) = 0.0
+      qq(i, j) = 0.0
+    end do
+  end do
+  do k = 1, 50
+    tab(k) = real(k) * 0.02
+  end do
+
+  do s = 1, steps
+    ! Equation of state via table lookup (computed index: residual).
+    do i = 2, n - 1
+      do j = 2, n - 1
+        k = int(e(i, j) * 4.0) + 1
+        if (k > 50) then
+          k = 50
+        end if
+        if (k < 1) then
+          k = 1
+        end if
+        p(i, j) = tab(k) * e(i, j)
+      end do
+    end do
+    ! Artificial viscosity with full stencil reuse.
+    do i = 2, n - 1
+      do j = 2, n - 1
+        qq(i, j) = 0.25 * (p(i - 1, j) + p(i + 1, j) + p(i, j - 1) + p(i, j + 1)) - p(i, j) + 0.125 * (e(i - 1, j) + e(i + 1, j) + e(i, j - 1) + e(i, j + 1))
+      end do
+    end do
+    ! Coordinate motion.
+    do i = 2, n - 1
+      do j = 2, n - 1
+        r(i, j) = r(i, j) + dt * (qq(i, j) - qq(i - 1, j)) * 0.5
+        z(i, j) = z(i, j) + dt * (qq(i, j) - qq(i, j - 1)) * 0.5
+      end do
+    end do
+    ! Energy and pressure updates with reuse of both operands.
+    do i = 2, n - 1
+      do j = 2, n - 1
+        e(i, j) = e(i, j) - dt * p(i, j) * (qq(i, j) + qq(i, j)) * 0.01 + dt * (r(i, j) - z(i, j)) * 0.001
+        p(i, j) = p(i, j) * 0.999 + qq(i, j) * 0.001 + e(i, j) * 0.0001
+      end do
+    end do
+  end do
+
+  accum = 0.0
+  do i = 1, n
+    do j = 1, n
+      accum = accum + e(i, j) + p(i, j) + r(i, j)
+    end do
+  end do
+  print accum
+end program
+
+! Problem sizes arrive through an opaque input routine, like the
+! READ statements of the original benchmarks: the compiler cannot
+! constant-fold them.
+function input(x) : integer
+  integer x
+  return x
+end function
+)FTN";
+
+} // namespace suite_sources
+} // namespace nascent

@@ -1,0 +1,59 @@
+#include "suite/Suite.h"
+
+using namespace nascent;
+
+namespace nascent {
+namespace suite_sources {
+extern const char *VortexSource;
+extern const char *Arc2dSource;
+extern const char *BdnaSource;
+extern const char *DyfesmSource;
+extern const char *MdgSource;
+extern const char *QcdSource;
+extern const char *Spec77Source;
+extern const char *TrfdSource;
+extern const char *LinpackdSource;
+extern const char *SimpleSource;
+} // namespace suite_sources
+} // namespace nascent
+
+const std::vector<SuiteProgram> &nascent::benchmarkSuite() {
+  using namespace suite_sources;
+  static const std::vector<SuiteProgram> Programs = {
+      {"vortex", "Mendez", VortexSource},
+      {"arc2d", "Perfect", Arc2dSource},
+      {"bdna", "Perfect", BdnaSource},
+      {"dyfesm", "Perfect", DyfesmSource},
+      {"mdg", "Perfect", MdgSource},
+      {"qcd", "Perfect", QcdSource},
+      {"spec77", "Perfect", Spec77Source},
+      {"trfd", "Perfect", TrfdSource},
+      {"linpackd", "Riceps", LinpackdSource},
+      {"simple", "Riceps", SimpleSource},
+  };
+  return Programs;
+}
+
+const SuiteProgram *nascent::findSuiteProgram(const std::string &Name) {
+  for (const SuiteProgram &P : benchmarkSuite())
+    if (Name == P.Name)
+      return &P;
+  return nullptr;
+}
+
+size_t nascent::countSourceLines(const char *Source) {
+  size_t Lines = 0;
+  bool NonEmpty = false;
+  for (const char *P = Source; *P; ++P) {
+    if (*P == '\n') {
+      if (NonEmpty)
+        ++Lines;
+      NonEmpty = false;
+    } else if (*P != ' ' && *P != '\t' && *P != '\r') {
+      NonEmpty = true;
+    }
+  }
+  if (NonEmpty)
+    ++Lines;
+  return Lines;
+}

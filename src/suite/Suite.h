@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite: ten mini-Fortran programs named after the paper's
+/// Perfect/Riceps/Mendez selection (Table 1). The original codes and
+/// their reference inputs are not redistributable, so each program here
+/// is written from scratch to match the *structural* properties that
+/// drive range-check behaviour — stencil reuse, triangular loops,
+/// indirect gathers, mod-indexed lattices, LU factorisation with
+/// subroutine kernels — as catalogued in DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_SUITE_SUITE_H
+#define NASCENT_SUITE_SUITE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nascent {
+
+/// One benchmark program.
+struct SuiteProgram {
+  const char *Name;   ///< paper program name (vortex, arc2d, ...)
+  const char *Origin; ///< paper suite name (Mendez, Perfect, Riceps)
+  const char *Source; ///< mini-Fortran source text
+};
+
+/// The ten programs, in the paper's Table 1 order.
+const std::vector<SuiteProgram> &benchmarkSuite();
+
+/// Finds a suite program by name; null when absent.
+const SuiteProgram *findSuiteProgram(const std::string &Name);
+
+/// Number of non-empty source lines (Table 1's "lines" column).
+size_t countSourceLines(const char *Source);
+
+} // namespace nascent
+
+#endif // NASCENT_SUITE_SUITE_H

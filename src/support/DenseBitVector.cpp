@@ -1,0 +1,92 @@
+#include "support/DenseBitVector.h"
+
+#include <bit>
+
+using namespace nascent;
+
+DenseBitVector::DenseBitVector(size_t NumBits, bool InitialValue)
+    : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {
+  if (InitialValue)
+    setAll();
+}
+
+void DenseBitVector::resize(size_t NewNumBits) {
+  NumBits = NewNumBits;
+  Words.resize((NewNumBits + 63) / 64, 0);
+  clearUnusedBits();
+}
+
+void DenseBitVector::setAll() {
+  for (uint64_t &W : Words)
+    W = ~uint64_t(0);
+  clearUnusedBits();
+}
+
+void DenseBitVector::resetAll() {
+  for (uint64_t &W : Words)
+    W = 0;
+}
+
+bool DenseBitVector::any() const {
+  for (uint64_t W : Words)
+    if (W != 0)
+      return true;
+  return false;
+}
+
+size_t DenseBitVector::count() const {
+  size_t N = 0;
+  for (uint64_t W : Words)
+    N += static_cast<size_t>(std::popcount(W));
+  return N;
+}
+
+size_t DenseBitVector::findNext(size_t From) const {
+  if (From >= NumBits)
+    return npos;
+  size_t WordIdx = From / 64;
+  uint64_t W = Words[WordIdx] & (~uint64_t(0) << (From % 64));
+  while (true) {
+    if (W != 0) {
+      size_t Bit = WordIdx * 64 + static_cast<size_t>(std::countr_zero(W));
+      return Bit < NumBits ? Bit : npos;
+    }
+    if (++WordIdx == Words.size())
+      return npos;
+    W = Words[WordIdx];
+  }
+}
+
+DenseBitVector &DenseBitVector::operator|=(const DenseBitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "bit vector size mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] |= RHS.Words[I];
+  return *this;
+}
+
+DenseBitVector &DenseBitVector::operator&=(const DenseBitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "bit vector size mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= RHS.Words[I];
+  return *this;
+}
+
+DenseBitVector &DenseBitVector::andNot(const DenseBitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "bit vector size mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= ~RHS.Words[I];
+  return *this;
+}
+
+void DenseBitVector::clearUnusedBits() {
+  if (NumBits % 64 != 0 && !Words.empty())
+    Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+}
+
+namespace nascent {
+
+bool operator==(const DenseBitVector &A, const DenseBitVector &B) {
+  return A.NumBits == B.NumBits && A.Words == B.Words;
+}
+
+} // namespace nascent

@@ -1,0 +1,99 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, word-packed bit vector used by the data-flow solvers. The
+/// range-check availability/anticipatability problems operate over the
+/// "check universe", so set operations (and/or/and-not) must be fast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_SUPPORT_DENSEBITVECTOR_H
+#define NASCENT_SUPPORT_DENSEBITVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nascent {
+
+/// Fixed-universe dense bit vector with word-parallel set algebra.
+///
+/// All binary operations require both operands to have the same size; this
+/// is asserted, because the data-flow solvers always size their vectors to
+/// the check universe.
+class DenseBitVector {
+public:
+  DenseBitVector() = default;
+  explicit DenseBitVector(size_t NumBits, bool InitialValue = false);
+
+  size_t size() const { return NumBits; }
+  bool empty() const { return NumBits == 0; }
+
+  /// Grows or shrinks to \p NumBits; new bits are cleared.
+  void resize(size_t NumBits);
+
+  bool test(size_t Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / 64] >> (Idx % 64)) & 1;
+  }
+
+  void set(size_t Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / 64] |= uint64_t(1) << (Idx % 64);
+  }
+
+  void reset(size_t Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / 64] &= ~(uint64_t(1) << (Idx % 64));
+  }
+
+  /// Sets every bit.
+  void setAll();
+
+  /// Clears every bit.
+  void resetAll();
+
+  /// Returns true if any bit is set.
+  bool any() const;
+
+  /// Returns true if no bit is set.
+  bool none() const { return !any(); }
+
+  /// Number of set bits.
+  size_t count() const;
+
+  /// Index of the first set bit at or after \p From, or npos if none.
+  size_t findNext(size_t From) const;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  DenseBitVector &operator|=(const DenseBitVector &RHS);
+  DenseBitVector &operator&=(const DenseBitVector &RHS);
+
+  /// this = this & ~RHS. Returns *this.
+  DenseBitVector &andNot(const DenseBitVector &RHS);
+
+  friend bool operator==(const DenseBitVector &A, const DenseBitVector &B);
+  friend bool operator!=(const DenseBitVector &A, const DenseBitVector &B) {
+    return !(A == B);
+  }
+
+  /// Iterates over set bits, calling \p Fn with each index in order.
+  template <typename CallableT> void forEachSetBit(CallableT Fn) const {
+    for (size_t I = findNext(0); I != npos; I = findNext(I + 1))
+      Fn(I);
+  }
+
+private:
+  /// Clears any bits in the last word beyond NumBits so that whole-word
+  /// operations (count, ==) remain exact.
+  void clearUnusedBits();
+
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace nascent
+
+#endif // NASCENT_SUPPORT_DENSEBITVECTOR_H

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection for the front end and the optimizer. The engine
+/// accumulates diagnostics so that library clients (tests, drivers) can
+/// inspect them without the library ever printing to stderr on its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_SUPPORT_DIAGNOSTICS_H
+#define NASCENT_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace nascent {
+
+/// Severity of a single diagnostic.
+enum class DiagSeverity {
+  Note,
+  Warning,
+  Error,
+};
+
+/// One diagnostic message with its location and severity.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders the diagnostic as "line:col: severity: message".
+  std::string str() const;
+};
+
+/// Accumulates diagnostics produced while compiling one translation unit.
+///
+/// The engine never prints anything by itself; call \c render (or iterate
+/// \c diagnostics) to surface messages to the user.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message);
+  void warning(SourceLocation Loc, std::string Message);
+  void note(SourceLocation Loc, std::string Message);
+
+  /// Returns true if at least one error-severity diagnostic was reported.
+  bool hasErrors() const { return NumErrors != 0; }
+
+  unsigned errorCount() const { return NumErrors; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string render() const;
+
+  /// Discards all accumulated diagnostics.
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace nascent
+
+#endif // NASCENT_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations for diagnostics emitted by the mini-Fortran front end
+/// and the range-check optimizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_SUPPORT_SOURCELOCATION_H
+#define NASCENT_SUPPORT_SOURCELOCATION_H
+
+#include <string>
+
+namespace nascent {
+
+/// A 1-based (line, column) position in a source buffer. Line 0 denotes an
+/// unknown/synthesized location (e.g. compiler-inserted checks).
+struct SourceLocation {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  SourceLocation() = default;
+  SourceLocation(unsigned Line, unsigned Column) : Line(Line), Column(Column) {}
+
+  /// Returns true if this location refers to real source text.
+  bool isValid() const { return Line != 0; }
+
+  /// Renders the location as "line:col", or "<unknown>" when invalid.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+
+  friend bool operator==(const SourceLocation &A, const SourceLocation &B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+  friend bool operator!=(const SourceLocation &A, const SourceLocation &B) {
+    return !(A == B);
+  }
+};
+
+} // namespace nascent
+
+#endif // NASCENT_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers: printf-style formatting into std::string and a
+/// fixed-width table renderer shared by the benchmark harnesses, which
+/// print the paper's Tables 1-3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_SUPPORT_STRINGUTILS_H
+#define NASCENT_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace nascent {
+
+/// printf-style formatting that returns a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Left-pads \p S with spaces to width \p Width (no-op if already wider).
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Right-pads \p S with spaces to width \p Width (no-op if already wider).
+std::string padRight(const std::string &S, size_t Width);
+
+/// Renders a table with column headers and rows as fixed-width text.
+///
+/// Column widths are derived from the widest cell in each column. The first
+/// column is left-aligned, all others right-aligned, matching the layout of
+/// the paper's tables.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends one row; the row must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the header, a separator line, and all rows.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace nascent
+
+#endif // NASCENT_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,257 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Induction-variable analysis tests, including a reproduction of the
+/// paper's Figure 2: in
+///
+///     j = 0; k = 3; m = 5
+///     for i = 0 to n-1:
+///        j = j + i        -> polynomial  (h*(h+1)/2 shape)
+///        k = k + m        -> linear      (5*h + 8 after the update)
+///        A[k] = 2*m + 1   -> invariant
+///
+/// the analysis classifies i as linear, j as polynomial, k as linear with
+/// constant step 5 (constant propagation of m), and 2*m+1 as invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/InductionVariables.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace nascent;
+using namespace nascent::test;
+
+namespace {
+
+struct IVFixture {
+  CompileResult R;
+  Function *F = nullptr;
+  std::unique_ptr<DominatorTree> DT;
+  std::unique_ptr<LoopInfo> LI;
+  std::unique_ptr<SSA> S;
+  std::unique_ptr<InductionAnalysis> IV;
+
+  explicit IVFixture(const std::string &Source) : R(compileNaive(Source)) {
+    F = R.M->entry();
+    F->recomputePreds();
+    DT = std::make_unique<DominatorTree>(*F);
+    LI = std::make_unique<LoopInfo>(*F, *DT);
+    S = std::make_unique<SSA>(*F, *DT);
+    IV = std::make_unique<InductionAnalysis>(*S, *LI, *DT);
+  }
+
+  /// Classification of symbol \p Name at the first instruction of the
+  /// innermost loop's body that uses it.
+  IVExpr classifyInBody(const char *Name, const Loop *L) {
+    SymbolID Sym = F->symbols().lookup(Name);
+    EXPECT_NE(Sym, InvalidSymbol) << Name;
+    for (BlockID B : L->Blocks) {
+      const auto &Insts = F->block(B)->instructions();
+      for (size_t Idx = 0; Idx != Insts.size(); ++Idx) {
+        if (S->useOfSymbol(B, Idx, Sym) != InvalidSSAValue)
+          return IV->classifyUse(B, Idx, Sym, L);
+      }
+    }
+    ADD_FAILURE() << "no use of " << Name << " in loop";
+    return IVExpr::unknown();
+  }
+
+  const Loop *onlyLoop() {
+    EXPECT_EQ(LI->numLoops(), 1u);
+    return LI->loopsInnermostFirst()[0];
+  }
+};
+
+TEST(InductionVariables, Figure2Classifications) {
+  IVFixture Fx(R"(
+program fig2
+  integer n, i, j, k, m
+  real a(200)
+  n = 10
+  j = 0
+  k = 3
+  m = 5
+  do i = 0, n - 1
+    j = j + i
+    k = k + m
+    a(k) = 2.0 * real(m) + 1.0
+  end do
+  print a(8)
+end program
+)");
+  const Loop *L = Fx.onlyLoop();
+
+  // i: the basic induction variable, 1*h + 0 (initial value 0, step 1).
+  IVExpr I = Fx.classifyInBody("i", L);
+  EXPECT_EQ(I.K, IVExpr::Kind::Linear);
+  EXPECT_EQ(I.Coeff, 1);
+  EXPECT_TRUE(I.Base.empty());
+  EXPECT_EQ(I.BaseConst, 0);
+
+  // j accumulates a linear value: polynomial, as in Figure 2.
+  IVExpr J = Fx.classifyInBody("j", L);
+  EXPECT_EQ(J.K, IVExpr::Kind::Polynomial);
+
+  // k steps by m = 5 each iteration: Linear with constant coefficient 5
+  // (constant propagation resolves m), matching the paper's 5*h + 8 for
+  // the post-update value; the use inside a(k) is the post-update k.
+  IVExpr K = Fx.classifyInBody("k", L);
+  EXPECT_EQ(K.K, IVExpr::Kind::Linear);
+  EXPECT_EQ(K.Coeff, 5);
+
+  // m: invariant and constant-folded.
+  IVExpr M = Fx.classifyInBody("m", L);
+  EXPECT_EQ(M.K, IVExpr::Kind::Invariant);
+  EXPECT_TRUE(M.isConstant());
+  EXPECT_EQ(M.BaseConst, 5);
+}
+
+TEST(InductionVariables, SymbolicInitialValue) {
+  IVFixture Fx(R"(
+program p
+  integer n, i, k, base
+  real a(100)
+  n = 8
+  base = n * 2
+  k = base
+  do i = 1, n
+    k = k + 1
+    a(k) = 0.0
+  end do
+  print a(17)
+end program
+)");
+  const Loop *L = Fx.onlyLoop();
+  IVExpr K = Fx.classifyInBody("k", L);
+  EXPECT_EQ(K.K, IVExpr::Kind::Linear);
+  EXPECT_EQ(K.Coeff, 1);
+  // base = n*2 = 16 folds to a constant through the copy chain.
+  EXPECT_TRUE(K.Base.empty());
+}
+
+TEST(InductionVariables, DerivedLinearCombination) {
+  IVFixture Fx(R"(
+program p
+  integer n, i, t
+  real a(100)
+  n = 9
+  do i = 1, n
+    t = 3 * i - 2
+    a(t) = 1.0
+  end do
+  print a(1)
+end program
+)");
+  const Loop *L = Fx.onlyLoop();
+  IVExpr T = Fx.classifyInBody("t", L);
+  EXPECT_EQ(T.K, IVExpr::Kind::Linear);
+  EXPECT_EQ(T.Coeff, 3);
+  // i = 1 + h, so t = 3*(1 + h) - 2 = 3*h + 1.
+  EXPECT_EQ(T.BaseConst, 1);
+}
+
+TEST(InductionVariables, RecomputedInvariant) {
+  // t is assigned inside the loop but always to the same (symbolic)
+  // value: classified invariant with the region-constant base.
+  IVFixture Fx(R"(
+program p
+  integer n, m, i, t
+  real a(100)
+  n = 6
+  do i = 1, n
+    t = m + 2
+    a(t + i) = 0.0
+  end do
+  print a(3)
+end program
+)");
+  const Loop *L = Fx.onlyLoop();
+  IVExpr T = Fx.classifyInBody("t", L);
+  EXPECT_EQ(T.K, IVExpr::Kind::Invariant);
+  EXPECT_EQ(T.Base.size(), 1u);
+  EXPECT_EQ(T.BaseConst, 2);
+}
+
+TEST(InductionVariables, LoadsAreUnknown) {
+  IVFixture Fx(R"(
+program p
+  integer n, i, t
+  integer idx(50)
+  real a(50)
+  n = 6
+  do i = 1, n
+    t = idx(i)
+    a(t) = 0.0
+  end do
+  print a(1)
+end program
+)");
+  const Loop *L = Fx.onlyLoop();
+  IVExpr T = Fx.classifyInBody("t", L);
+  EXPECT_EQ(T.K, IVExpr::Kind::Unknown);
+}
+
+TEST(InductionVariables, DescendingLoopNegativeStep) {
+  IVFixture Fx(R"(
+program p
+  integer n, i
+  real a(50)
+  n = 9
+  do i = n, 1, -1
+    a(i) = 0.0
+  end do
+  print a(1)
+end program
+)");
+  const Loop *L = Fx.onlyLoop();
+  IVExpr I = Fx.classifyInBody("i", L);
+  EXPECT_EQ(I.K, IVExpr::Kind::Linear);
+  EXPECT_EQ(I.Coeff, -1);
+}
+
+TEST(InductionVariables, OuterIndexInvariantInInner) {
+  IVFixture Fx(R"(
+program p
+  integer n, i, j
+  real a(40, 40)
+  n = 5
+  do i = 1, n
+    do j = 1, n
+      a(i, j) = 0.0
+    end do
+  end do
+  print a(1, 1)
+end program
+)");
+  ASSERT_EQ(Fx.LI->numLoops(), 2u);
+  const Loop *Inner = Fx.LI->loopsInnermostFirst()[0];
+  ASSERT_EQ(Inner->Depth, 2u);
+  IVExpr I = Fx.classifyInBody("i", Inner);
+  EXPECT_EQ(I.K, IVExpr::Kind::Invariant);
+  IVExpr J = Fx.classifyInBody("j", Inner);
+  EXPECT_EQ(J.K, IVExpr::Kind::Linear);
+}
+
+TEST(InductionVariables, GeometricRecurrenceIsUnknown) {
+  IVFixture Fx(R"(
+program p
+  integer n, i, g
+  real a(1000)
+  n = 5
+  g = 1
+  do i = 1, n
+    g = g * 2
+    a(g) = 0.0
+  end do
+  print a(2)
+end program
+)");
+  const Loop *L = Fx.onlyLoop();
+  IVExpr G = Fx.classifyInBody("g", L);
+  EXPECT_EQ(G.K, IVExpr::Kind::Unknown);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+#include "analysis/LoopInfo.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace nascent;
+using namespace nascent::test;
+
+namespace {
+
+TEST(LoopInfo, SingleDoLoop) {
+  CompileResult R = compileNaive(R"(
+program p
+  integer i, s
+  s = 0
+  do i = 1, 10
+    s = s + i
+  end do
+  print s
+end program
+)");
+  Function *F = R.M->entry();
+  F->recomputePreds();
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+
+  ASSERT_EQ(LI.numLoops(), 1u);
+  const Loop *L = LI.loopsInnermostFirst()[0];
+  EXPECT_EQ(L->Depth, 1u);
+  EXPECT_EQ(L->Parent, nullptr);
+  EXPECT_NE(L->Preheader, InvalidBlock);
+  ASSERT_GE(L->DoLoopIndex, 0);
+  const DoLoopInfo &DL = F->doLoops()[L->DoLoopIndex];
+  EXPECT_EQ(DL.Header, L->Header);
+  EXPECT_EQ(DL.Step, 1);
+  EXPECT_TRUE(L->contains(DL.BodyEntry));
+  EXPECT_TRUE(L->contains(DL.Latch));
+  EXPECT_FALSE(L->contains(DL.Preheader));
+}
+
+TEST(LoopInfo, NestingForest) {
+  CompileResult R = compileNaive(R"(
+program p
+  integer i, j, k, s
+  do i = 1, 3
+    do j = 1, 3
+      s = s + j
+    end do
+    do k = 1, 2
+      s = s - k
+    end do
+  end do
+  print s
+end program
+)");
+  Function *F = R.M->entry();
+  F->recomputePreds();
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+
+  ASSERT_EQ(LI.numLoops(), 3u);
+  unsigned Outer = 0, Inner = 0;
+  for (const Loop *L : LI.loopsInnermostFirst()) {
+    if (L->Depth == 1)
+      ++Outer;
+    else if (L->Depth == 2)
+      ++Inner;
+  }
+  EXPECT_EQ(Outer, 1u);
+  EXPECT_EQ(Inner, 2u);
+
+  // Innermost-first order: inner loops appear before their parent.
+  const auto &Order = LI.loopsInnermostFirst();
+  EXPECT_EQ(Order.back()->Depth, 1u);
+  EXPECT_EQ(Order.back()->SubLoops.size(), 2u);
+  for (const Loop *Sub : Order.back()->SubLoops)
+    EXPECT_EQ(Sub->Parent, Order.back());
+}
+
+TEST(LoopInfo, WhileLoopHasNoDoMetadata) {
+  CompileResult R = compileNaive(R"(
+program p
+  integer i
+  i = 0
+  while (i < 5) do
+    i = i + 1
+  end while
+  print i
+end program
+)");
+  Function *F = R.M->entry();
+  F->recomputePreds();
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.numLoops(), 1u);
+  EXPECT_EQ(LI.loopsInnermostFirst()[0]->DoLoopIndex, -1);
+  EXPECT_NE(LI.loopsInnermostFirst()[0]->Preheader, InvalidBlock);
+}
+
+TEST(LoopInfo, LoopForMapsBlocksToInnermost) {
+  CompileResult R = compileNaive(R"(
+program p
+  integer i, j, s
+  do i = 1, 3
+    s = s + 1
+    do j = 1, 3
+      s = s + j
+    end do
+  end do
+  print s
+end program
+)");
+  Function *F = R.M->entry();
+  F->recomputePreds();
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  const Loop *InnerL = LI.loopsInnermostFirst()[0];
+  ASSERT_EQ(InnerL->Depth, 2u);
+  const DoLoopInfo &DL = F->doLoops()[InnerL->DoLoopIndex];
+  EXPECT_EQ(LI.loopFor(DL.BodyEntry), InnerL);
+  // The inner preheader belongs to the outer loop.
+  EXPECT_EQ(LI.loopFor(DL.Preheader)->Depth, 1u);
+}
+
+TEST(LoopInfo, EntryGuardAndLastIteration) {
+  CompileResult R = compileNaive(R"(
+program p
+  integer i, n, s
+  n = 7
+  do i = 2, n
+    s = s + i
+  end do
+  do i = n, 1, -1
+    s = s - i
+  end do
+  print s
+end program
+)");
+  Function *F = R.M->entry();
+  ASSERT_EQ(F->doLoops().size(), 2u);
+
+  const DoLoopInfo &Up = F->doLoops()[0];
+  EXPECT_EQ(Up.Step, 1);
+  // Guard: 2 <= n  i.e.  (2 - n <= 0)  canonicalised to  (-n <= -2).
+  CheckExpr G = Up.entryGuard();
+  EXPECT_EQ(G.bound(), -2);
+  // Last index value offset: n - 2.
+  LinearExpr Last = Up.lastIterationIndexOffset();
+  EXPECT_EQ(Last.constantPart(), -2);
+
+  const DoLoopInfo &Down = F->doLoops()[1];
+  EXPECT_EQ(Down.Step, -1);
+  // Guard for a descending loop: n >= 1  i.e.  (1 - n <= 0).
+  CheckExpr G2 = Down.entryGuard();
+  EXPECT_EQ(G2.bound(), -1);
+}
+
+} // namespace

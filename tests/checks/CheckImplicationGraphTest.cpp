@@ -1,0 +1,169 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Check Implication Graph tests, reproducing the paper's Figure 3 (the
+/// CIG of the Figure 1 fragment) and Figure 4 (weighted edges between
+/// families F3 = {n <= .} and F4 = {m <= .} where Check(n <= 6) implies
+/// Check(m <= 10), giving an edge of weight 4; then Check(n <= 1) is as
+/// strong as Check(m <= 7) but not as strong as Check(m <= 3)).
+///
+//===----------------------------------------------------------------------===//
+
+#include "checks/CheckImplicationGraph.h"
+
+#include "ir/Symbol.h"
+
+#include <gtest/gtest.h>
+
+using namespace nascent;
+
+namespace {
+
+class CIGTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    N = Syms.createScalar("n", ScalarType::Int);
+    M = Syms.createScalar("m", ScalarType::Int);
+  }
+  SymbolTable Syms;
+  SymbolID N = 0, M = 0;
+};
+
+TEST_F(CIGTest, WithinFamilyStrength) {
+  CheckUniverse U;
+  CheckID C5 = U.intern(CheckExpr(LinearExpr::term(N), 5));
+  CheckID C10 = U.intern(CheckExpr(LinearExpr::term(N), 10));
+  CheckImplicationGraph CIG(U);
+  EXPECT_TRUE(CIG.isAsStrongAs(C5, C10));
+  EXPECT_FALSE(CIG.isAsStrongAs(C10, C5));
+  EXPECT_TRUE(CIG.isAsStrongAs(C5, C5));
+}
+
+TEST_F(CIGTest, Figure1FamilyStructure) {
+  // The four checks of Figure 1(a) collapse into two families:
+  // F1 = {-2n <= -5, -2n <= -6} and F2 = {2n <= 10, 2n <= 11}.
+  CheckUniverse U;
+  CheckID C1 = U.intern(CheckExpr(LinearExpr::term(N, -2), -5));
+  CheckID C2 = U.intern(CheckExpr(LinearExpr::term(N, 2), 10));
+  CheckID C3 = U.intern(CheckExpr(LinearExpr::term(N, -2), -6));
+  CheckID C4 = U.intern(CheckExpr(LinearExpr::term(N, 2), 11));
+  EXPECT_EQ(U.numFamilies(), 2u);
+  EXPECT_EQ(U.familyOf(C1), U.familyOf(C3));
+  EXPECT_EQ(U.familyOf(C2), U.familyOf(C4));
+
+  CheckImplicationGraph CIG(U);
+  // C2 implies C4 (2n <= 10 makes 2n <= 11 redundant): Figure 1(b).
+  EXPECT_TRUE(CIG.isAsStrongAs(C2, C4));
+  // C3 implies C1: the strengthening of Figure 1(c).
+  EXPECT_TRUE(CIG.isAsStrongAs(C3, C1));
+  EXPECT_FALSE(CIG.isAsStrongAs(C1, C3));
+}
+
+TEST_F(CIGTest, Figure4WeightedCrossFamilyEdge) {
+  CheckUniverse U;
+  CheckID N6 = U.intern(CheckExpr(LinearExpr::term(N), 6));
+  CheckID N1 = U.intern(CheckExpr(LinearExpr::term(N), 1));
+  CheckID M10 = U.intern(CheckExpr(LinearExpr::term(M), 10));
+  CheckID M7 = U.intern(CheckExpr(LinearExpr::term(M), 7));
+  CheckID M3 = U.intern(CheckExpr(LinearExpr::term(M), 3));
+
+  CheckImplicationGraph CIG(U);
+  // Discover: Check(n <= 6) => Check(m <= 10): edge weight 10 - 6 = 4.
+  CIG.addImplication(N6, M10);
+  EXPECT_EQ(CIG.pathWeight(U.familyOf(N6), U.familyOf(M10)), 4);
+
+  // The paper's inferences: n <= 1 is as strong as m <= 7 (1+4 <= 7),
+  // but not as strong as m <= 3.
+  EXPECT_TRUE(CIG.isAsStrongAs(N1, M7));
+  EXPECT_FALSE(CIG.isAsStrongAs(N1, M3));
+  // No reverse implication.
+  EXPECT_FALSE(CIG.isAsStrongAs(M3, N1));
+}
+
+TEST_F(CIGTest, ParallelEdgesKeepMinimumWeight) {
+  CheckUniverse U;
+  CheckID N6 = U.intern(CheckExpr(LinearExpr::term(N), 6));
+  CheckID M10 = U.intern(CheckExpr(LinearExpr::term(M), 10));
+  CheckID M8 = U.intern(CheckExpr(LinearExpr::term(M), 8));
+  CheckImplicationGraph CIG(U);
+  CIG.addImplication(N6, M10); // weight 4
+  CIG.addImplication(N6, M8);  // weight 2: the stronger fact wins
+  EXPECT_EQ(CIG.pathWeight(U.familyOf(N6), U.familyOf(M10)), 2);
+}
+
+TEST_F(CIGTest, PathAccumulation) {
+  SymbolID K = Syms.createScalar("k", ScalarType::Int);
+  CheckUniverse U;
+  CheckID CN = U.intern(CheckExpr(LinearExpr::term(N), 0));
+  CheckID CM = U.intern(CheckExpr(LinearExpr::term(M), 0));
+  CheckID CK = U.intern(CheckExpr(LinearExpr::term(K), 0));
+  CheckImplicationGraph CIG(U);
+  CIG.addFamilyEdge(U.familyOf(CN), U.familyOf(CM), 3);
+  CIG.addFamilyEdge(U.familyOf(CM), U.familyOf(CK), -1);
+  // Path n -> m -> k accumulates 3 + (-1) = 2.
+  EXPECT_EQ(CIG.pathWeight(U.familyOf(CN), U.familyOf(CK)), 2);
+  // (n <= 0) as strong as (k <= 2) but not (k <= 1).
+  CheckID K2 = U.intern(CheckExpr(LinearExpr::term(K), 2));
+  CheckID K1 = U.intern(CheckExpr(LinearExpr::term(K), 1));
+  EXPECT_TRUE(CIG.isAsStrongAs(CN, K2));
+  EXPECT_FALSE(CIG.isAsStrongAs(CN, K1));
+}
+
+TEST_F(CIGTest, WeakerClosureAvailability) {
+  CheckUniverse U;
+  CheckID N5 = U.intern(CheckExpr(LinearExpr::term(N), 5));
+  CheckID N8 = U.intern(CheckExpr(LinearExpr::term(N), 8));
+  CheckID N3 = U.intern(CheckExpr(LinearExpr::term(N), 3));
+  CheckID M9 = U.intern(CheckExpr(LinearExpr::term(M), 9));
+  CheckImplicationGraph CIG(U);
+  CIG.addImplication(N5, M9); // weight 4
+
+  DenseBitVector Bits(U.size());
+  CIG.weakerClosure(N5, Bits);
+  EXPECT_TRUE(Bits.test(N5));
+  EXPECT_TRUE(Bits.test(N8)); // weaker in family
+  EXPECT_FALSE(Bits.test(N3)); // stronger
+  EXPECT_TRUE(Bits.test(M9)); // cross family via the edge
+}
+
+TEST_F(CIGTest, ImplicationModeNone) {
+  CheckUniverse U(/*FamilyPerCheck=*/true);
+  CheckID N5 = U.intern(CheckExpr(LinearExpr::term(N), 5));
+  CheckID N8 = U.intern(CheckExpr(LinearExpr::term(N), 8));
+  CheckImplicationGraph CIG(U, ImplicationMode::None);
+  EXPECT_FALSE(CIG.isAsStrongAs(N5, N8));
+  EXPECT_TRUE(CIG.isAsStrongAs(N5, N5));
+  DenseBitVector Bits(U.size());
+  CIG.weakerClosure(N5, Bits);
+  EXPECT_EQ(Bits.count(), 1u);
+}
+
+TEST_F(CIGTest, ImplicationModeCrossFamilyOnly) {
+  CheckUniverse U;
+  CheckID N5 = U.intern(CheckExpr(LinearExpr::term(N), 5));
+  CheckID N8 = U.intern(CheckExpr(LinearExpr::term(N), 8));
+  CheckID M9 = U.intern(CheckExpr(LinearExpr::term(M), 9));
+  CheckImplicationGraph CIG(U, ImplicationMode::CrossFamilyOnly);
+  CIG.addImplication(N5, M9);
+  // Within-family implications are disabled (the paper's LLS' variant)...
+  EXPECT_FALSE(CIG.isAsStrongAs(N5, N8));
+  // ...but cross-family edges still apply.
+  EXPECT_TRUE(CIG.isAsStrongAs(N5, M9));
+}
+
+TEST_F(CIGTest, SameFamilyClosure) {
+  CheckUniverse U;
+  CheckID N5 = U.intern(CheckExpr(LinearExpr::term(N), 5));
+  CheckID N8 = U.intern(CheckExpr(LinearExpr::term(N), 8));
+  CheckID M9 = U.intern(CheckExpr(LinearExpr::term(M), 9));
+  CheckImplicationGraph CIG(U);
+  CIG.addImplication(N5, M9);
+  DenseBitVector Bits(U.size());
+  CIG.weakerClosureSameFamily(N5, Bits);
+  EXPECT_TRUE(Bits.test(N5));
+  EXPECT_TRUE(Bits.test(N8));
+  // The anticipatability closure never crosses families (paper 3.2).
+  EXPECT_FALSE(Bits.test(M9));
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+#include "checks/CheckUniverse.h"
+
+#include "ir/Symbol.h"
+
+#include <gtest/gtest.h>
+
+using namespace nascent;
+
+namespace {
+
+class CheckUniverseTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    I = Syms.createScalar("i", ScalarType::Int);
+    N = Syms.createScalar("n", ScalarType::Int);
+  }
+  SymbolTable Syms;
+  SymbolID I = 0, N = 0;
+};
+
+TEST_F(CheckUniverseTest, InterningDeduplicates) {
+  CheckUniverse U;
+  CheckID A = U.intern(CheckExpr(LinearExpr::term(I), 10));
+  CheckID B = U.intern(CheckExpr(LinearExpr::term(I), 10));
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(U.size(), 1u);
+  // Canonicalisation makes (i + 1 <= 11) the same check.
+  LinearExpr E = LinearExpr::term(I) + LinearExpr::constant(1);
+  CheckID C = U.intern(CheckExpr(E, 11));
+  EXPECT_EQ(C, A);
+}
+
+TEST_F(CheckUniverseTest, FamiliesShareRangeExpression) {
+  CheckUniverse U;
+  CheckID C10 = U.intern(CheckExpr(LinearExpr::term(I), 10));
+  CheckID C5 = U.intern(CheckExpr(LinearExpr::term(I), 5));
+  CheckID CN = U.intern(CheckExpr(LinearExpr::term(N), 10));
+  EXPECT_EQ(U.familyOf(C10), U.familyOf(C5));
+  EXPECT_NE(U.familyOf(C10), U.familyOf(CN));
+  EXPECT_EQ(U.numFamilies(), 2u);
+
+  // Members ordered ascending by bound: strongest first.
+  const auto &Members = U.familyMembers(U.familyOf(C10));
+  ASSERT_EQ(Members.size(), 2u);
+  EXPECT_EQ(Members[0], C5);
+  EXPECT_EQ(Members[1], C10);
+}
+
+TEST_F(CheckUniverseTest, FamilyPerCheckMode) {
+  CheckUniverse U(/*FamilyPerCheck=*/true);
+  CheckID A = U.intern(CheckExpr(LinearExpr::term(I), 10));
+  CheckID B = U.intern(CheckExpr(LinearExpr::term(I), 5));
+  EXPECT_NE(U.familyOf(A), U.familyOf(B));
+  EXPECT_EQ(U.numFamilies(), 2u);
+}
+
+TEST_F(CheckUniverseTest, SymbolIndex) {
+  CheckUniverse U;
+  LinearExpr E = LinearExpr::term(I) + LinearExpr::term(N, -4);
+  CheckID A = U.intern(CheckExpr(E, 1));
+  CheckID B = U.intern(CheckExpr(LinearExpr::term(N), 3));
+  const auto &ForI = U.checksUsingSymbol(I);
+  ASSERT_EQ(ForI.size(), 1u);
+  EXPECT_EQ(ForI[0], A);
+  const auto &ForN = U.checksUsingSymbol(N);
+  EXPECT_EQ(ForN.size(), 2u);
+  EXPECT_TRUE(U.checksUsingSymbol(12345).empty());
+  (void)B;
+}
+
+TEST_F(CheckUniverseTest, GenerationBumpsOnNewChecksOnly) {
+  CheckUniverse U;
+  uint64_t G0 = U.generation();
+  U.intern(CheckExpr(LinearExpr::term(I), 10));
+  uint64_t G1 = U.generation();
+  EXPECT_GT(G1, G0);
+  U.intern(CheckExpr(LinearExpr::term(I), 10));
+  EXPECT_EQ(U.generation(), G1);
+}
+
+TEST_F(CheckUniverseTest, FindWithoutInterning) {
+  CheckUniverse U;
+  EXPECT_EQ(U.find(CheckExpr(LinearExpr::term(I), 10)), InvalidCheck);
+  CheckID A = U.intern(CheckExpr(LinearExpr::term(I), 10));
+  EXPECT_EQ(U.find(CheckExpr(LinearExpr::term(I), 10)), A);
+}
+
+} // namespace

@@ -1,0 +1,325 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interpreter tests: arithmetic, control flow, arrays (including
+/// by-reference array parameters), traps, the instruction/check counters,
+/// and the execution limits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace nascent;
+using namespace nascent::test;
+
+namespace {
+
+ExecResult runNaive(const std::string &Src) {
+  CompileResult R = compileNaive(Src);
+  return interpret(*R.M);
+}
+
+TEST(Interpreter, IntegerArithmetic) {
+  ExecResult E = runNaive(R"(
+program p
+  integer a
+  a = (7 + 5) * 3 - 4
+  print a
+  print mod(17, 5)
+  print min(3, -2)
+  print max(3, -2)
+  print abs(-9)
+end program
+)");
+  ASSERT_EQ(E.St, ExecResult::Status::Ok) << E.FaultMessage;
+  EXPECT_EQ(E.Output,
+            (std::vector<std::string>{"32", "2", "-2", "3", "9"}));
+}
+
+TEST(Interpreter, IntegerDivisionTruncates) {
+  ExecResult E = runNaive(R"(
+program p
+  print 7 / 2
+  print -7 / 2
+end program
+)");
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"3", "-3"}));
+}
+
+TEST(Interpreter, RealArithmeticAndConversion) {
+  ExecResult E = runNaive(R"(
+program p
+  real r
+  integer i
+  r = 3.5 * 2.0
+  print r
+  i = int(r) + 1
+  print i
+  r = real(i) / 4.0
+  print r
+end program
+)");
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"7", "8", "2"}));
+}
+
+TEST(Interpreter, LogicalOps) {
+  ExecResult E = runNaive(R"(
+program p
+  logical a, b
+  a = 1 < 2 and 3 >= 3
+  b = not a or 2 == 3
+  print a
+  print b
+end program
+)");
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"T", "F"}));
+}
+
+TEST(Interpreter, ControlFlow) {
+  ExecResult E = runNaive(R"(
+program p
+  integer i, s
+  s = 0
+  do i = 1, 10, 2
+    s = s + i
+  end do
+  print s
+  while (s > 10) do
+    s = s - 7
+  end while
+  print s
+end program
+)");
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"25", "4"}));
+}
+
+TEST(Interpreter, ZeroTripLoop) {
+  ExecResult E = runNaive(R"(
+program p
+  integer i, s, n
+  n = 0
+  s = 42
+  do i = 1, n
+    s = s + 100
+  end do
+  print s
+end program
+)");
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"42"}));
+}
+
+TEST(Interpreter, DescendingLoop) {
+  ExecResult E = runNaive(R"(
+program p
+  integer i, s
+  s = 0
+  do i = 5, 1, -1
+    s = s * 10 + i
+  end do
+  print s
+end program
+)");
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"54321"}));
+}
+
+TEST(Interpreter, ArraysColumnMajorIndependentCells) {
+  ExecResult E = runNaive(R"(
+program p
+  integer a(3, 3)
+  integer i, j
+  do i = 1, 3
+    do j = 1, 3
+      a(i, j) = i * 10 + j
+    end do
+  end do
+  print a(2, 3)
+  print a(3, 1)
+end program
+)");
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"23", "31"}));
+}
+
+TEST(Interpreter, ArrayParameterAliasesCaller) {
+  ExecResult E = runNaive(R"(
+program p
+  integer v(4)
+  call setall(v, 9)
+  print v(1) + v(4)
+end program
+subroutine setall(a, val)
+  integer a(4), val, i
+  do i = 1, 4
+    a(i) = val
+  end do
+end subroutine
+)");
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"18"}));
+}
+
+TEST(Interpreter, ScalarArgsPassedByValue) {
+  ExecResult E = runNaive(R"(
+program p
+  integer x
+  x = 5
+  call shadow(x)
+  print x
+end program
+subroutine shadow(x)
+  integer x
+  x = 99
+end subroutine
+)");
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"5"}));
+}
+
+TEST(Interpreter, RecursiveFunction) {
+  ExecResult E = runNaive(R"(
+program p
+  print fact(6)
+end program
+function fact(n) : integer
+  integer n
+  if (n <= 1) then
+    return 1
+  end if
+  return n * fact(n - 1)
+end function
+)");
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"720"}));
+}
+
+TEST(Interpreter, UpperBoundTrap) {
+  ExecResult E = runNaive(R"(
+program p
+  real a(10)
+  integer i
+  i = 11
+  a(i) = 1.0
+  print a(1)
+end program
+)");
+  EXPECT_EQ(E.St, ExecResult::Status::Trapped);
+  EXPECT_NE(E.FaultMessage.find("range check failed"), std::string::npos);
+  EXPECT_NE(E.FaultMessage.find("array a"), std::string::npos);
+  EXPECT_NE(E.FaultMessage.find("upper"), std::string::npos);
+  EXPECT_TRUE(E.Output.empty()); // the trap fires before the print
+}
+
+TEST(Interpreter, LowerBoundTrap) {
+  ExecResult E = runNaive(R"(
+program p
+  real a(5:10)
+  integer i
+  i = 4
+  print a(i)
+end program
+)");
+  EXPECT_EQ(E.St, ExecResult::Status::Trapped);
+  EXPECT_NE(E.FaultMessage.find("lower"), std::string::npos);
+}
+
+TEST(Interpreter, OutputBeforeTrapIsKept) {
+  ExecResult E = runNaive(R"(
+program p
+  real a(5)
+  integer i
+  print 1
+  print 2
+  i = 6
+  a(i) = 0.0
+  print 3
+end program
+)");
+  EXPECT_EQ(E.St, ExecResult::Status::Trapped);
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Interpreter, CountsSeparateChecksFromInstructions) {
+  ExecResult E = runNaive(R"(
+program p
+  real a(10)
+  integer i
+  do i = 1, 10
+    a(i) = 1.0
+  end do
+end program
+)");
+  // 10 iterations x 2 checks.
+  EXPECT_EQ(E.DynChecks, 20u);
+  EXPECT_GT(E.DynInstrs, 0u);
+  EXPECT_EQ(E.DynCondChecks, 0u);
+}
+
+TEST(Interpreter, StepLimit) {
+  PipelineOptions PO;
+  PO.Optimize = false;
+  CompileResult R = compileOrDie(R"(
+program p
+  integer i
+  i = 0
+  while (i >= 0) do
+    i = i + 1
+  end while
+end program
+)",
+                                 PO);
+  InterpOptions IO;
+  IO.MaxSteps = 10'000;
+  ExecResult E = interpret(*R.M, IO);
+  EXPECT_EQ(E.St, ExecResult::Status::StepLimit);
+}
+
+TEST(Interpreter, CallDepthLimit) {
+  CompileResult R = compileNaive(R"(
+program p
+  print inf(1)
+end program
+function inf(n) : integer
+  integer n
+  return inf(n + 1)
+end function
+)");
+  InterpOptions IO;
+  IO.MaxCallDepth = 50;
+  ExecResult E = interpret(*R.M, IO);
+  EXPECT_EQ(E.St, ExecResult::Status::CallDepthExceeded);
+}
+
+TEST(Interpreter, UninitialisedVariablesAreZero) {
+  ExecResult E = runNaive(R"(
+program p
+  integer i
+  real r
+  print i
+  print r
+end program
+)");
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"0", "0"}));
+}
+
+TEST(Interpreter, CondCheckSemantics) {
+  // Build a CondCheck via the LLS pipeline on a zero-trip loop: the
+  // guard is false at run time, so the hoisted check must not trap even
+  // though the substituted bound would fail.
+  PipelineOptions PO;
+  PO.Opt.Scheme = PlacementScheme::LLS;
+  CompileResult R = compileOrDie(R"(
+program p
+  real a(10)
+  integer n, i
+  n = 50
+  do i = 1, n - 50
+    a(i + 40) = 1.0
+  end do
+  print a(1)
+end program
+)",
+                                 PO);
+  ExecResult E = interpret(*R.M);
+  EXPECT_EQ(E.St, ExecResult::Status::Ok) << E.FaultMessage;
+  EXPECT_EQ(E.Output, (std::vector<std::string>{"0"}));
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace nascent;
+
+namespace {
+
+std::vector<Token> lexAll(const std::string &Src) {
+  Lexer L(Src);
+  std::vector<Token> Out;
+  while (true) {
+    Token T = L.next();
+    Out.push_back(T);
+    if (T.is(TokenKind::Eof))
+      break;
+  }
+  return Out;
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto Toks = lexAll("program foo end do while");
+  ASSERT_EQ(Toks.size(), 6u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwProgram);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Toks[1].Text, "foo");
+  EXPECT_EQ(Toks[2].Kind, TokenKind::KwEnd);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::KwDo);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::KwWhile);
+}
+
+TEST(Lexer, CaseInsensitive) {
+  auto Toks = lexAll("PROGRAM Foo INTEGER");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwProgram);
+  EXPECT_EQ(Toks[1].Text, "foo"); // identifiers fold to lower case
+  EXPECT_EQ(Toks[2].Kind, TokenKind::KwInteger);
+}
+
+TEST(Lexer, IntegerAndRealLiterals) {
+  auto Toks = lexAll("42 3.5 1e3 2.5e-2 7");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[0].IntValue, 42);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(Toks[1].RealValue, 3.5);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(Toks[2].RealValue, 1000.0);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(Toks[3].RealValue, 0.025);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::IntLiteral);
+}
+
+TEST(Lexer, NumberFollowedByIdentifierIsNotExponent) {
+  // "3e" with no digits after: 'e' starts the next identifier token.
+  auto Toks = lexAll("3 elseif");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::KwElseif);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  auto Toks = lexAll("= == /= < <= > >= + - * / ( ) , :");
+  TokenKind Expected[] = {
+      TokenKind::Assign,  TokenKind::EqEq,      TokenKind::NotEq,
+      TokenKind::Less,    TokenKind::LessEq,    TokenKind::Greater,
+      TokenKind::GreaterEq, TokenKind::Plus,    TokenKind::Minus,
+      TokenKind::Star,    TokenKind::Slash,     TokenKind::LParen,
+      TokenKind::RParen,  TokenKind::Comma,     TokenKind::Colon,
+      TokenKind::Eof};
+  ASSERT_EQ(Toks.size(), std::size(Expected));
+  for (size_t K = 0; K != Toks.size(); ++K)
+    EXPECT_EQ(Toks[K].Kind, Expected[K]) << "token " << K;
+}
+
+TEST(Lexer, CommentsAndLocations) {
+  auto Toks = lexAll("a ! whole line ignored\n  b");
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Column, 3u);
+}
+
+TEST(Lexer, ErrorToken) {
+  auto Toks = lexAll("a # b");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Error);
+  // Recovers and continues.
+  EXPECT_EQ(Toks[2].Kind, TokenKind::Identifier);
+}
+
+} // namespace

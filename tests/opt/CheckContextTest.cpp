@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of CheckContext: universe construction from the IR, kill
+/// and gen transfer semantics (paper section 3.2), preheader entry facts,
+/// and the availability/anticipatability solutions on small CFGs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/CheckContext.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace nascent;
+
+namespace {
+
+/// Straight-line function:
+///   n = 4; Check(n <= 10); t = n + 1 (kills nothing);
+///   n = 5 (kills);         Check(n <= 12); ret
+struct StraightLine {
+  Module M;
+  Function *F;
+  SymbolID N, T;
+  CheckID C10 = InvalidCheck, C12 = InvalidCheck;
+
+  StraightLine() {
+    F = M.createFunction("f");
+    IRBuilder B(*F);
+    N = F->symbols().createScalar("n", ScalarType::Int);
+    T = F->symbols().createScalar("t", ScalarType::Int);
+    B.setInsertBlock(B.createBlock("entry"));
+    B.emitCopy(N, Value::intConst(4));
+    B.emitCheck(CheckExpr(LinearExpr::term(N), 10));
+    B.emitBinaryTo(T, Opcode::Add, Value::sym(N), Value::intConst(1));
+    B.emitCopy(N, Value::intConst(5));
+    B.emitCheck(CheckExpr(LinearExpr::term(N), 12));
+    B.emitRet();
+    F->recomputePreds();
+  }
+};
+
+TEST(CheckContext, UniverseFromInstructions) {
+  StraightLine S;
+  CheckContext Ctx(*S.F, ImplicationMode::All);
+  EXPECT_EQ(Ctx.universe().size(), 2u);
+  EXPECT_EQ(Ctx.universe().numFamilies(), 1u); // same range-expression n
+  // Instruction ids line up with the Check instructions.
+  EXPECT_EQ(Ctx.idOf(0, 0), InvalidCheck); // the copy
+  EXPECT_NE(Ctx.idOf(0, 1), InvalidCheck); // Check(n <= 10)
+  EXPECT_EQ(Ctx.idOf(0, 2), InvalidCheck); // the add
+  EXPECT_NE(Ctx.idOf(0, 4), InvalidCheck); // Check(n <= 12)
+}
+
+TEST(CheckContext, KillSemantics) {
+  StraightLine S;
+  CheckContext Ctx(*S.F, ImplicationMode::All);
+  size_t U = Ctx.universe().size();
+
+  DenseBitVector Bits(U, true);
+  // The add defines t, which no check mentions: kills nothing.
+  Ctx.applyKill(S.F->block(0)->instructions()[2], Bits);
+  EXPECT_EQ(Bits.count(), U);
+  // The copy defines n: kills every check.
+  Ctx.applyKill(S.F->block(0)->instructions()[3], Bits);
+  EXPECT_EQ(Bits.count(), 0u);
+}
+
+TEST(CheckContext, AvailGenClosesOverWeakerChecks) {
+  StraightLine S;
+  CheckContext Ctx(*S.F, ImplicationMode::All);
+  CheckID C10 = Ctx.idOf(0, 1);
+  CheckID C12 = Ctx.idOf(0, 4);
+
+  DenseBitVector Bits(Ctx.universe().size());
+  Ctx.applyAvailGen(0, 1, S.F->block(0)->instructions()[1], Bits);
+  EXPECT_TRUE(Bits.test(C10));
+  EXPECT_TRUE(Bits.test(C12)) << "a performed check gens weaker members";
+}
+
+TEST(CheckContext, AvailGenWithoutImplications) {
+  StraightLine S;
+  CheckContext Ctx(*S.F, ImplicationMode::None);
+  CheckID C10 = Ctx.idOf(0, 1);
+  CheckID C12 = Ctx.idOf(0, 4);
+  DenseBitVector Bits(Ctx.universe().size());
+  Ctx.applyAvailGen(0, 1, S.F->block(0)->instructions()[1], Bits);
+  EXPECT_TRUE(Bits.test(C10));
+  EXPECT_FALSE(Bits.test(C12));
+}
+
+TEST(CheckContext, AvailabilityBlockedByKill) {
+  StraightLine S;
+  CheckContext Ctx(*S.F, ImplicationMode::All);
+  DataflowResult Avail = Ctx.solveAvailability();
+  CheckID C12 = Ctx.idOf(0, 4);
+  // The second check sits after a redefinition of n: nothing is
+  // available at the block exit except its own gen (which survives).
+  EXPECT_TRUE(Avail.Out[0].test(C12));
+  EXPECT_FALSE(Avail.In[0].test(C12));
+}
+
+TEST(CheckContext, PreheaderFactsBecomeEntryBits) {
+  // Two blocks: entry jumps to body; a fact asserts Check(n <= 10) at
+  // the body entry.
+  Module M;
+  Function *F = M.createFunction("f");
+  IRBuilder B(*F);
+  SymbolID N = F->symbols().createScalar("n", ScalarType::Int);
+  BasicBlock *Entry = B.createBlock("entry");
+  BasicBlock *Body = B.createBlock("body");
+  B.setInsertBlock(Entry);
+  B.emitCopy(N, Value::intConst(4));
+  B.emitJump(Body->id());
+  B.setInsertBlock(Body);
+  B.emitCheck(CheckExpr(LinearExpr::term(N), 10));
+  B.emitCheck(CheckExpr(LinearExpr::term(N), 12));
+  B.emitRet();
+  F->recomputePreds();
+
+  std::vector<PreheaderFact> Facts = {
+      {Body->id(), CheckExpr(LinearExpr::term(N), 10)}};
+  CheckContext Ctx(*F, ImplicationMode::All, Facts);
+
+  CheckID C10 = Ctx.universe().find(CheckExpr(LinearExpr::term(N), 10));
+  CheckID C12 = Ctx.universe().find(CheckExpr(LinearExpr::term(N), 12));
+  ASSERT_NE(C10, InvalidCheck);
+  ASSERT_NE(C12, InvalidCheck);
+  // The fact covers the check itself and its weaker family member.
+  EXPECT_TRUE(Ctx.genInBits(Body->id()).test(C10));
+  EXPECT_TRUE(Ctx.genInBits(Body->id()).test(C12));
+  EXPECT_FALSE(Ctx.genInBits(Entry->id()).test(C10));
+}
+
+TEST(CheckContext, FactClosureRespectsMode) {
+  Module M;
+  Function *F = M.createFunction("f");
+  IRBuilder B(*F);
+  SymbolID N = F->symbols().createScalar("n", ScalarType::Int);
+  BasicBlock *Entry = B.createBlock("entry");
+  BasicBlock *Body = B.createBlock("body");
+  B.setInsertBlock(Entry);
+  B.emitJump(Body->id());
+  B.setInsertBlock(Body);
+  B.emitCheck(CheckExpr(LinearExpr::term(N), 10));
+  B.emitCheck(CheckExpr(LinearExpr::term(N), 12));
+  B.emitRet();
+  F->recomputePreds();
+
+  std::vector<PreheaderFact> Facts = {
+      {Body->id(), CheckExpr(LinearExpr::term(N), 10)}};
+  // The LLS' mode (cross-family only) must not close over the weaker
+  // same-family member.
+  CheckContext Ctx(*F, ImplicationMode::CrossFamilyOnly, Facts);
+  CheckID C10 = Ctx.universe().find(CheckExpr(LinearExpr::term(N), 10));
+  CheckID C12 = Ctx.universe().find(CheckExpr(LinearExpr::term(N), 12));
+  EXPECT_TRUE(Ctx.genInBits(Body->id()).test(C10));
+  EXPECT_FALSE(Ctx.genInBits(Body->id()).test(C12));
+}
+
+TEST(CheckContext, AnticipatabilityGenIsFamilyRestricted) {
+  StraightLine S;
+  CheckContext Ctx(*S.F, ImplicationMode::All);
+  DataflowResult Antic = Ctx.solveAnticipatability();
+  CheckID C12 = Ctx.idOf(0, 4);
+  // n is defined at the top of the block, then checked: at the block
+  // entry nothing is anticipatable (the defs kill on the way back).
+  EXPECT_FALSE(Antic.In[0].test(C12));
+  (void)C12;
+}
+
+TEST(CheckContext, LocallyAnticipates) {
+  StraightLine S;
+  CheckContext Ctx(*S.F, ImplicationMode::All);
+  CheckID C10 = Ctx.idOf(0, 1);
+  CheckID C12 = Ctx.idOf(0, 4);
+  // Check(n<=10) is generated before any kill? No: the block starts with
+  // a definition of n, so nothing is locally anticipatable at entry.
+  EXPECT_FALSE(Ctx.locallyAnticipates(0, C10));
+  EXPECT_FALSE(Ctx.locallyAnticipates(0, C12));
+}
+
+} // namespace

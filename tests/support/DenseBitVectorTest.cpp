@@ -1,0 +1,129 @@
+#include "support/DenseBitVector.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace nascent;
+
+TEST(DenseBitVector, EmptyVector) {
+  DenseBitVector V;
+  EXPECT_EQ(V.size(), 0u);
+  EXPECT_TRUE(V.empty());
+  EXPECT_TRUE(V.none());
+  EXPECT_EQ(V.count(), 0u);
+  EXPECT_EQ(V.findNext(0), DenseBitVector::npos);
+}
+
+TEST(DenseBitVector, SetResetTest) {
+  DenseBitVector V(130);
+  EXPECT_FALSE(V.test(0));
+  V.set(0);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(1));
+  EXPECT_EQ(V.count(), 3u);
+  V.reset(64);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_EQ(V.count(), 2u);
+}
+
+TEST(DenseBitVector, InitialValueTrue) {
+  DenseBitVector V(70, true);
+  EXPECT_EQ(V.count(), 70u);
+  EXPECT_TRUE(V.test(69));
+}
+
+TEST(DenseBitVector, SetAllRespectsSize) {
+  // The unused high bits of the last word must stay clear so count and
+  // equality remain exact.
+  DenseBitVector V(65);
+  V.setAll();
+  EXPECT_EQ(V.count(), 65u);
+  DenseBitVector W(65, true);
+  EXPECT_EQ(V, W);
+}
+
+TEST(DenseBitVector, FindNextSkipsWords) {
+  DenseBitVector V(256);
+  V.set(3);
+  V.set(200);
+  EXPECT_EQ(V.findNext(0), 3u);
+  EXPECT_EQ(V.findNext(4), 200u);
+  EXPECT_EQ(V.findNext(201), DenseBitVector::npos);
+}
+
+TEST(DenseBitVector, SetAlgebra) {
+  DenseBitVector A(100), B(100);
+  A.set(1);
+  A.set(50);
+  B.set(50);
+  B.set(99);
+
+  DenseBitVector Or = A;
+  Or |= B;
+  EXPECT_TRUE(Or.test(1));
+  EXPECT_TRUE(Or.test(50));
+  EXPECT_TRUE(Or.test(99));
+  EXPECT_EQ(Or.count(), 3u);
+
+  DenseBitVector And = A;
+  And &= B;
+  EXPECT_EQ(And.count(), 1u);
+  EXPECT_TRUE(And.test(50));
+
+  DenseBitVector Diff = A;
+  Diff.andNot(B);
+  EXPECT_EQ(Diff.count(), 1u);
+  EXPECT_TRUE(Diff.test(1));
+}
+
+TEST(DenseBitVector, ResizePreservesAndClears) {
+  DenseBitVector V(64);
+  V.set(10);
+  V.resize(128);
+  EXPECT_TRUE(V.test(10));
+  EXPECT_FALSE(V.test(100));
+  V.resize(8);
+  EXPECT_EQ(V.size(), 8u);
+}
+
+TEST(DenseBitVector, ForEachSetBitOrder) {
+  DenseBitVector V(300);
+  std::vector<size_t> Expected = {0, 63, 64, 128, 299};
+  for (size_t B : Expected)
+    V.set(B);
+  std::vector<size_t> Seen;
+  V.forEachSetBit([&](size_t B) { Seen.push_back(B); });
+  EXPECT_EQ(Seen, Expected);
+}
+
+/// Property sweep: random operations agree with std::set semantics.
+class BitVectorRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVectorRandomTest, MatchesReferenceSet) {
+  std::mt19937 Rng(GetParam());
+  const size_t N = 200;
+  DenseBitVector V(N);
+  std::set<size_t> Ref;
+  for (int Step = 0; Step != 500; ++Step) {
+    size_t Bit = Rng() % N;
+    if (Rng() % 2) {
+      V.set(Bit);
+      Ref.insert(Bit);
+    } else {
+      V.reset(Bit);
+      Ref.erase(Bit);
+    }
+  }
+  EXPECT_EQ(V.count(), Ref.size());
+  for (size_t B = 0; B != N; ++B)
+    EXPECT_EQ(V.test(B), Ref.count(B) != 0) << "bit " << B;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorRandomTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));

@@ -1,0 +1,58 @@
+#include "support/StringUtils.h"
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace nascent;
+
+TEST(StringUtils, FormatString) {
+  EXPECT_EQ(formatString("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(formatString("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(formatString("%s", "plain"), "plain");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(StringUtils, Padding) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+  EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+TEST(StringUtils, TextTableLayout) {
+  TextTable T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "23"});
+  std::string Out = T.render();
+  // Header, separator, two rows.
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
+  // Numeric column right-aligned: " 1" under "value".
+  EXPECT_NE(Out.find("     1"), std::string::npos);
+}
+
+TEST(Diagnostics, CollectsAndRenders) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning(SourceLocation(2, 3), "watch out");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLocation(5, 1), "boom");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  std::string Out = D.render();
+  EXPECT_NE(Out.find("2:3: warning: watch out"), std::string::npos);
+  EXPECT_NE(Out.find("5:1: error: boom"), std::string::npos);
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.diagnostics().empty());
+}
+
+TEST(Diagnostics, UnknownLocation) {
+  DiagnosticEngine D;
+  D.note(SourceLocation(), "context");
+  EXPECT_NE(D.render().find("<unknown>: note: context"), std::string::npos);
+}
