@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_markstein.dir/ablation_markstein.cpp.o"
+  "CMakeFiles/ablation_markstein.dir/ablation_markstein.cpp.o.d"
+  "ablation_markstein"
+  "ablation_markstein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_markstein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_time.dir/bench_optimizer_time.cpp.o"
+  "CMakeFiles/bench_optimizer_time.dir/bench_optimizer_time.cpp.o.d"
+  "bench_optimizer_time"
+  "bench_optimizer_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_schemes.dir/table2_schemes.cpp.o"
+  "CMakeFiles/table2_schemes.dir/table2_schemes.cpp.o.d"
+  "table2_schemes"
+  "table2_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_implication.cpp" "bench/CMakeFiles/table3_implication.dir/table3_implication.cpp.o" "gcc" "bench/CMakeFiles/table3_implication.dir/table3_implication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/nascent_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/nascent_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/nascent_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/checks/CMakeFiles/nascent_checks.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/nascent_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/nascent_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/nascent_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nascent_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nascent_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nascent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_implication.dir/table3_implication.cpp.o"
+  "CMakeFiles/table3_implication.dir/table3_implication.cpp.o.d"
+  "table3_implication"
+  "table3_implication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_implication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

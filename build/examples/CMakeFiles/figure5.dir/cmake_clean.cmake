@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5.dir/figure5.cpp.o"
+  "CMakeFiles/figure5.dir/figure5.cpp.o.d"
+  "figure5"
+  "figure5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

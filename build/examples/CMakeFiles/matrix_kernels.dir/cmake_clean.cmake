@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_kernels.dir/matrix_kernels.cpp.o"
+  "CMakeFiles/matrix_kernels.dir/matrix_kernels.cpp.o.d"
+  "matrix_kernels"
+  "matrix_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mfc.cpp" "examples/CMakeFiles/mfc.dir/mfc.cpp.o" "gcc" "examples/CMakeFiles/mfc.dir/mfc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/nascent_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/nascent_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbackend/CMakeFiles/nascent_cbackend.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/nascent_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/nascent_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/checks/CMakeFiles/nascent_checks.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/nascent_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nascent_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nascent_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nascent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc.dir/mfc.cpp.o"
+  "CMakeFiles/mfc.dir/mfc.cpp.o.d"
+  "mfc"
+  "mfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

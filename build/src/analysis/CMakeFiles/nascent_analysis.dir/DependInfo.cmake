@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFGUtils.cpp" "src/analysis/CMakeFiles/nascent_analysis.dir/CFGUtils.cpp.o" "gcc" "src/analysis/CMakeFiles/nascent_analysis.dir/CFGUtils.cpp.o.d"
+  "/root/repo/src/analysis/Dataflow.cpp" "src/analysis/CMakeFiles/nascent_analysis.dir/Dataflow.cpp.o" "gcc" "src/analysis/CMakeFiles/nascent_analysis.dir/Dataflow.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/nascent_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/nascent_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/InductionVariables.cpp" "src/analysis/CMakeFiles/nascent_analysis.dir/InductionVariables.cpp.o" "gcc" "src/analysis/CMakeFiles/nascent_analysis.dir/InductionVariables.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/analysis/CMakeFiles/nascent_analysis.dir/LoopInfo.cpp.o" "gcc" "src/analysis/CMakeFiles/nascent_analysis.dir/LoopInfo.cpp.o.d"
+  "/root/repo/src/analysis/SSA.cpp" "src/analysis/CMakeFiles/nascent_analysis.dir/SSA.cpp.o" "gcc" "src/analysis/CMakeFiles/nascent_analysis.dir/SSA.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/nascent_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nascent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

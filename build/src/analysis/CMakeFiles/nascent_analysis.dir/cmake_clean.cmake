@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascent_analysis.dir/CFGUtils.cpp.o"
+  "CMakeFiles/nascent_analysis.dir/CFGUtils.cpp.o.d"
+  "CMakeFiles/nascent_analysis.dir/Dataflow.cpp.o"
+  "CMakeFiles/nascent_analysis.dir/Dataflow.cpp.o.d"
+  "CMakeFiles/nascent_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/nascent_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/nascent_analysis.dir/InductionVariables.cpp.o"
+  "CMakeFiles/nascent_analysis.dir/InductionVariables.cpp.o.d"
+  "CMakeFiles/nascent_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/nascent_analysis.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/nascent_analysis.dir/SSA.cpp.o"
+  "CMakeFiles/nascent_analysis.dir/SSA.cpp.o.d"
+  "libnascent_analysis.a"
+  "libnascent_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascent_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

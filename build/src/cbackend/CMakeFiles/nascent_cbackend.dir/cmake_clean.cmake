@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascent_cbackend.dir/CEmitter.cpp.o"
+  "CMakeFiles/nascent_cbackend.dir/CEmitter.cpp.o.d"
+  "libnascent_cbackend.a"
+  "libnascent_cbackend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascent_cbackend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nascent_cbackend.
+# This may be replaced when dependencies are built.

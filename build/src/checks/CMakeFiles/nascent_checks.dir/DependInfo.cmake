@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checks/CheckImplicationGraph.cpp" "src/checks/CMakeFiles/nascent_checks.dir/CheckImplicationGraph.cpp.o" "gcc" "src/checks/CMakeFiles/nascent_checks.dir/CheckImplicationGraph.cpp.o.d"
+  "/root/repo/src/checks/CheckUniverse.cpp" "src/checks/CMakeFiles/nascent_checks.dir/CheckUniverse.cpp.o" "gcc" "src/checks/CMakeFiles/nascent_checks.dir/CheckUniverse.cpp.o.d"
+  "/root/repo/src/checks/INXSynthesis.cpp" "src/checks/CMakeFiles/nascent_checks.dir/INXSynthesis.cpp.o" "gcc" "src/checks/CMakeFiles/nascent_checks.dir/INXSynthesis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/nascent_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nascent_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nascent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascent_checks.dir/CheckImplicationGraph.cpp.o"
+  "CMakeFiles/nascent_checks.dir/CheckImplicationGraph.cpp.o.d"
+  "CMakeFiles/nascent_checks.dir/CheckUniverse.cpp.o"
+  "CMakeFiles/nascent_checks.dir/CheckUniverse.cpp.o.d"
+  "CMakeFiles/nascent_checks.dir/INXSynthesis.cpp.o"
+  "CMakeFiles/nascent_checks.dir/INXSynthesis.cpp.o.d"
+  "libnascent_checks.a"
+  "libnascent_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascent_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

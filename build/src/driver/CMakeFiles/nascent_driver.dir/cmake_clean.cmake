@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascent_driver.dir/Pipeline.cpp.o"
+  "CMakeFiles/nascent_driver.dir/Pipeline.cpp.o.d"
+  "libnascent_driver.a"
+  "libnascent_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascent_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnascent_driver.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascent_frontend.dir/Lowering.cpp.o"
+  "CMakeFiles/nascent_frontend.dir/Lowering.cpp.o.d"
+  "libnascent_frontend.a"
+  "libnascent_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascent_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

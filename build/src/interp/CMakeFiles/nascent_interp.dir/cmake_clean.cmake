@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascent_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/nascent_interp.dir/Interpreter.cpp.o.d"
+  "libnascent_interp.a"
+  "libnascent_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascent_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

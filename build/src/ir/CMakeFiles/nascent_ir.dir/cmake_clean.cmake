@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascent_ir.dir/Function.cpp.o"
+  "CMakeFiles/nascent_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/nascent_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/nascent_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/nascent_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/nascent_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/nascent_ir.dir/Instruction.cpp.o"
+  "CMakeFiles/nascent_ir.dir/Instruction.cpp.o.d"
+  "CMakeFiles/nascent_ir.dir/LinearExpr.cpp.o"
+  "CMakeFiles/nascent_ir.dir/LinearExpr.cpp.o.d"
+  "CMakeFiles/nascent_ir.dir/Symbol.cpp.o"
+  "CMakeFiles/nascent_ir.dir/Symbol.cpp.o.d"
+  "CMakeFiles/nascent_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/nascent_ir.dir/Verifier.cpp.o.d"
+  "libnascent_ir.a"
+  "libnascent_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascent_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

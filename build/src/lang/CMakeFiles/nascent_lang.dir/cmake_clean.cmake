@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascent_lang.dir/AST.cpp.o"
+  "CMakeFiles/nascent_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/nascent_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/nascent_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/nascent_lang.dir/Parser.cpp.o"
+  "CMakeFiles/nascent_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/nascent_lang.dir/Sema.cpp.o"
+  "CMakeFiles/nascent_lang.dir/Sema.cpp.o.d"
+  "libnascent_lang.a"
+  "libnascent_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascent_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/CheckContext.cpp" "src/opt/CMakeFiles/nascent_opt.dir/CheckContext.cpp.o" "gcc" "src/opt/CMakeFiles/nascent_opt.dir/CheckContext.cpp.o.d"
+  "/root/repo/src/opt/CheckStrengthening.cpp" "src/opt/CMakeFiles/nascent_opt.dir/CheckStrengthening.cpp.o" "gcc" "src/opt/CMakeFiles/nascent_opt.dir/CheckStrengthening.cpp.o.d"
+  "/root/repo/src/opt/Elimination.cpp" "src/opt/CMakeFiles/nascent_opt.dir/Elimination.cpp.o" "gcc" "src/opt/CMakeFiles/nascent_opt.dir/Elimination.cpp.o.d"
+  "/root/repo/src/opt/IntervalAnalysis.cpp" "src/opt/CMakeFiles/nascent_opt.dir/IntervalAnalysis.cpp.o" "gcc" "src/opt/CMakeFiles/nascent_opt.dir/IntervalAnalysis.cpp.o.d"
+  "/root/repo/src/opt/LazyCodeMotion.cpp" "src/opt/CMakeFiles/nascent_opt.dir/LazyCodeMotion.cpp.o" "gcc" "src/opt/CMakeFiles/nascent_opt.dir/LazyCodeMotion.cpp.o.d"
+  "/root/repo/src/opt/PreheaderInsertion.cpp" "src/opt/CMakeFiles/nascent_opt.dir/PreheaderInsertion.cpp.o" "gcc" "src/opt/CMakeFiles/nascent_opt.dir/PreheaderInsertion.cpp.o.d"
+  "/root/repo/src/opt/RangeCheckOptimizer.cpp" "src/opt/CMakeFiles/nascent_opt.dir/RangeCheckOptimizer.cpp.o" "gcc" "src/opt/CMakeFiles/nascent_opt.dir/RangeCheckOptimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/checks/CMakeFiles/nascent_checks.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nascent_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nascent_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nascent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

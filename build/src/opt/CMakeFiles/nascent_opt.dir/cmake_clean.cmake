@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascent_opt.dir/CheckContext.cpp.o"
+  "CMakeFiles/nascent_opt.dir/CheckContext.cpp.o.d"
+  "CMakeFiles/nascent_opt.dir/CheckStrengthening.cpp.o"
+  "CMakeFiles/nascent_opt.dir/CheckStrengthening.cpp.o.d"
+  "CMakeFiles/nascent_opt.dir/Elimination.cpp.o"
+  "CMakeFiles/nascent_opt.dir/Elimination.cpp.o.d"
+  "CMakeFiles/nascent_opt.dir/IntervalAnalysis.cpp.o"
+  "CMakeFiles/nascent_opt.dir/IntervalAnalysis.cpp.o.d"
+  "CMakeFiles/nascent_opt.dir/LazyCodeMotion.cpp.o"
+  "CMakeFiles/nascent_opt.dir/LazyCodeMotion.cpp.o.d"
+  "CMakeFiles/nascent_opt.dir/PreheaderInsertion.cpp.o"
+  "CMakeFiles/nascent_opt.dir/PreheaderInsertion.cpp.o.d"
+  "CMakeFiles/nascent_opt.dir/RangeCheckOptimizer.cpp.o"
+  "CMakeFiles/nascent_opt.dir/RangeCheckOptimizer.cpp.o.d"
+  "libnascent_opt.a"
+  "libnascent_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascent_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

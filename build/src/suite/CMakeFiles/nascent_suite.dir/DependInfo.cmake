@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/ProgramsA.cpp" "src/suite/CMakeFiles/nascent_suite.dir/ProgramsA.cpp.o" "gcc" "src/suite/CMakeFiles/nascent_suite.dir/ProgramsA.cpp.o.d"
+  "/root/repo/src/suite/ProgramsB.cpp" "src/suite/CMakeFiles/nascent_suite.dir/ProgramsB.cpp.o" "gcc" "src/suite/CMakeFiles/nascent_suite.dir/ProgramsB.cpp.o.d"
+  "/root/repo/src/suite/Suite.cpp" "src/suite/CMakeFiles/nascent_suite.dir/Suite.cpp.o" "gcc" "src/suite/CMakeFiles/nascent_suite.dir/Suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/nascent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascent_suite.dir/ProgramsA.cpp.o"
+  "CMakeFiles/nascent_suite.dir/ProgramsA.cpp.o.d"
+  "CMakeFiles/nascent_suite.dir/ProgramsB.cpp.o"
+  "CMakeFiles/nascent_suite.dir/ProgramsB.cpp.o.d"
+  "CMakeFiles/nascent_suite.dir/Suite.cpp.o"
+  "CMakeFiles/nascent_suite.dir/Suite.cpp.o.d"
+  "libnascent_suite.a"
+  "libnascent_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascent_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

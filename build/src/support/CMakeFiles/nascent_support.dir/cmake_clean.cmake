@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascent_support.dir/DenseBitVector.cpp.o"
+  "CMakeFiles/nascent_support.dir/DenseBitVector.cpp.o.d"
+  "CMakeFiles/nascent_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/nascent_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/nascent_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/nascent_support.dir/StringUtils.cpp.o.d"
+  "libnascent_support.a"
+  "libnascent_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascent_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/DataflowTest.cpp" "tests/CMakeFiles/nascent_tests.dir/analysis/DataflowTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/analysis/DataflowTest.cpp.o.d"
+  "/root/repo/tests/analysis/DominatorsTest.cpp" "tests/CMakeFiles/nascent_tests.dir/analysis/DominatorsTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/analysis/DominatorsTest.cpp.o.d"
+  "/root/repo/tests/analysis/InductionVariablesTest.cpp" "tests/CMakeFiles/nascent_tests.dir/analysis/InductionVariablesTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/analysis/InductionVariablesTest.cpp.o.d"
+  "/root/repo/tests/analysis/LoopInfoTest.cpp" "tests/CMakeFiles/nascent_tests.dir/analysis/LoopInfoTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/analysis/LoopInfoTest.cpp.o.d"
+  "/root/repo/tests/analysis/MixedNestingTest.cpp" "tests/CMakeFiles/nascent_tests.dir/analysis/MixedNestingTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/analysis/MixedNestingTest.cpp.o.d"
+  "/root/repo/tests/analysis/SSATest.cpp" "tests/CMakeFiles/nascent_tests.dir/analysis/SSATest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/analysis/SSATest.cpp.o.d"
+  "/root/repo/tests/cbackend/CEmitterTest.cpp" "tests/CMakeFiles/nascent_tests.dir/cbackend/CEmitterTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/cbackend/CEmitterTest.cpp.o.d"
+  "/root/repo/tests/checks/CheckImplicationGraphTest.cpp" "tests/CMakeFiles/nascent_tests.dir/checks/CheckImplicationGraphTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/checks/CheckImplicationGraphTest.cpp.o.d"
+  "/root/repo/tests/checks/CheckUniverseTest.cpp" "tests/CMakeFiles/nascent_tests.dir/checks/CheckUniverseTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/checks/CheckUniverseTest.cpp.o.d"
+  "/root/repo/tests/checks/INXSynthesisTest.cpp" "tests/CMakeFiles/nascent_tests.dir/checks/INXSynthesisTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/checks/INXSynthesisTest.cpp.o.d"
+  "/root/repo/tests/frontend/LoweringTest.cpp" "tests/CMakeFiles/nascent_tests.dir/frontend/LoweringTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/frontend/LoweringTest.cpp.o.d"
+  "/root/repo/tests/integration/RandomProgramTest.cpp" "tests/CMakeFiles/nascent_tests.dir/integration/RandomProgramTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/integration/RandomProgramTest.cpp.o.d"
+  "/root/repo/tests/integration/SuiteBehaviorTest.cpp" "tests/CMakeFiles/nascent_tests.dir/integration/SuiteBehaviorTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/integration/SuiteBehaviorTest.cpp.o.d"
+  "/root/repo/tests/interp/InterpreterTest.cpp" "tests/CMakeFiles/nascent_tests.dir/interp/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/interp/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/ir/IRStructureTest.cpp" "tests/CMakeFiles/nascent_tests.dir/ir/IRStructureTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/ir/IRStructureTest.cpp.o.d"
+  "/root/repo/tests/ir/LinearExprTest.cpp" "tests/CMakeFiles/nascent_tests.dir/ir/LinearExprTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/ir/LinearExprTest.cpp.o.d"
+  "/root/repo/tests/lang/LexerTest.cpp" "tests/CMakeFiles/nascent_tests.dir/lang/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/lang/LexerTest.cpp.o.d"
+  "/root/repo/tests/lang/ParserFuzzTest.cpp" "tests/CMakeFiles/nascent_tests.dir/lang/ParserFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/lang/ParserFuzzTest.cpp.o.d"
+  "/root/repo/tests/lang/ParserTest.cpp" "tests/CMakeFiles/nascent_tests.dir/lang/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/lang/ParserTest.cpp.o.d"
+  "/root/repo/tests/lang/SemaTest.cpp" "tests/CMakeFiles/nascent_tests.dir/lang/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/lang/SemaTest.cpp.o.d"
+  "/root/repo/tests/opt/CheckContextTest.cpp" "tests/CMakeFiles/nascent_tests.dir/opt/CheckContextTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/opt/CheckContextTest.cpp.o.d"
+  "/root/repo/tests/opt/DirectAPITest.cpp" "tests/CMakeFiles/nascent_tests.dir/opt/DirectAPITest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/opt/DirectAPITest.cpp.o.d"
+  "/root/repo/tests/opt/EliminationTest.cpp" "tests/CMakeFiles/nascent_tests.dir/opt/EliminationTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/opt/EliminationTest.cpp.o.d"
+  "/root/repo/tests/opt/IntervalAnalysisTest.cpp" "tests/CMakeFiles/nascent_tests.dir/opt/IntervalAnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/opt/IntervalAnalysisTest.cpp.o.d"
+  "/root/repo/tests/opt/LazyCodeMotionTest.cpp" "tests/CMakeFiles/nascent_tests.dir/opt/LazyCodeMotionTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/opt/LazyCodeMotionTest.cpp.o.d"
+  "/root/repo/tests/opt/MarksteinTest.cpp" "tests/CMakeFiles/nascent_tests.dir/opt/MarksteinTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/opt/MarksteinTest.cpp.o.d"
+  "/root/repo/tests/opt/OptimizerTest.cpp" "tests/CMakeFiles/nascent_tests.dir/opt/OptimizerTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/opt/OptimizerTest.cpp.o.d"
+  "/root/repo/tests/opt/PreheaderInsertionTest.cpp" "tests/CMakeFiles/nascent_tests.dir/opt/PreheaderInsertionTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/opt/PreheaderInsertionTest.cpp.o.d"
+  "/root/repo/tests/opt/StrengtheningTest.cpp" "tests/CMakeFiles/nascent_tests.dir/opt/StrengtheningTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/opt/StrengtheningTest.cpp.o.d"
+  "/root/repo/tests/support/DenseBitVectorTest.cpp" "tests/CMakeFiles/nascent_tests.dir/support/DenseBitVectorTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/support/DenseBitVectorTest.cpp.o.d"
+  "/root/repo/tests/support/StringUtilsTest.cpp" "tests/CMakeFiles/nascent_tests.dir/support/StringUtilsTest.cpp.o" "gcc" "tests/CMakeFiles/nascent_tests.dir/support/StringUtilsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cbackend/CMakeFiles/nascent_cbackend.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/nascent_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/nascent_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/nascent_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/nascent_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/checks/CMakeFiles/nascent_checks.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/nascent_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/nascent_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nascent_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nascent_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nascent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
