@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// audit_all: compiles every benchmark-suite program under every placement
+/// scheme (and every implication mode) with the trap-safety auditor
+/// enabled, and exits nonzero on any finding. This is the CI gate behind
+/// the `audit-all` target / `check-audit` test label: a change to the
+/// optimizer that silently weakens trap safety fails here even when no
+/// hand-written test exercises the broken placement.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "suite/Suite.h"
+
+#include <cstdio>
+
+using namespace nascent;
+
+int main() {
+  const PlacementScheme Schemes[] = {
+      PlacementScheme::NI,  PlacementScheme::CS,  PlacementScheme::LNI,
+      PlacementScheme::SE,  PlacementScheme::LI,  PlacementScheme::LLS,
+      PlacementScheme::ALL, PlacementScheme::MCM, PlacementScheme::AI};
+  const ImplicationMode Modes[] = {ImplicationMode::All,
+                                   ImplicationMode::CrossFamilyOnly,
+                                   ImplicationMode::None};
+
+  unsigned Runs = 0, Failures = 0;
+  AuditStats Total;
+  for (const SuiteProgram &P : benchmarkSuite()) {
+    for (PlacementScheme Scheme : Schemes) {
+      for (ImplicationMode Mode : Modes) {
+        PipelineOptions PO;
+        PO.Opt.Scheme = Scheme;
+        PO.Opt.Implications = Mode;
+        PO.Audit = true;
+        CompileResult R = compileSource(P.Source, PO);
+        ++Runs;
+        if (!R.Success) {
+          std::fprintf(stderr, "audit_all: %s/%s: compile failed:\n%s\n",
+                       P.Name, placementSchemeName(Scheme),
+                       R.Diags.render().c_str());
+          ++Failures;
+          continue;
+        }
+        Total += R.Audit.stats();
+        if (!R.Audit.clean()) {
+          std::fprintf(stderr, "audit_all: %s scheme=%s impl=%d FAILED\n%s",
+                       P.Name, placementSchemeName(Scheme),
+                       static_cast<int>(Mode), R.Audit.render().c_str());
+          ++Failures;
+        }
+      }
+    }
+  }
+
+  std::printf("audit_all: %u runs, %u failures; checks=%u condchecks=%u "
+              "traps=%u covered=%u facts=%u\n",
+              Runs, Failures, Total.ChecksAudited, Total.CondChecksAudited,
+              Total.TrapsAudited, Total.OriginalChecksCovered,
+              Total.FactsValidated);
+  return Failures ? 1 : 0;
+}

@@ -11,6 +11,8 @@
 ///                                       NI|CS|LNI|SE|LI|LLS|ALL|MCM|AI
 ///     -impl=all|cross|none              implication mode (default all)
 ///     -inx                              use induction-expression checks
+///     -audit                            run the trap-safety auditor over
+///                                       the (original, optimized) pair
 ///     -no-opt                           naive checking only
 ///     -no-checks                        do not insert range checks
 ///     -dump-ir                          print the optimized IR
@@ -37,8 +39,9 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: mfc [-scheme=NAME] [-impl=all|cross|none] [-inx] [-no-opt]\n"
-      "           [-no-checks] [-dump-ir] [-emit-c] [-quiet] file.mf\n");
+      "usage: mfc [-scheme=NAME] [-impl=all|cross|none] [-inx] [-audit]\n"
+      "           [-no-opt] [-no-checks] [-dump-ir] [-emit-c] [-quiet] "
+      "file.mf\n");
 }
 
 } // namespace
@@ -54,7 +57,8 @@ int main(int argc, char **argv) {
     const char *Arg = argv[I];
     if (std::strncmp(Arg, "-scheme=", 8) == 0) {
       if (!parsePlacementScheme(Arg + 8, PO.Opt.Scheme)) {
-        std::fprintf(stderr, "mfc: unknown scheme '%s'\n", Arg + 8);
+        std::fprintf(stderr, "mfc: unknown scheme '%s' (valid: %s)\n",
+                     Arg + 8, placementSchemeNames());
         return 2;
       }
     } else if (std::strcmp(Arg, "-impl=all") == 0) {
@@ -65,6 +69,8 @@ int main(int argc, char **argv) {
       PO.Opt.Implications = ImplicationMode::None;
     } else if (std::strcmp(Arg, "-inx") == 0) {
       PO.Source = CheckSource::INX;
+    } else if (std::strcmp(Arg, "-audit") == 0) {
+      PO.Audit = true;
     } else if (std::strcmp(Arg, "-no-opt") == 0) {
       PO.Optimize = false;
     } else if (std::strcmp(Arg, "-no-checks") == 0) {
@@ -105,6 +111,15 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "%s", Diags.c_str());
   if (!R.Success)
     return 1;
+  if (PO.Audit) {
+    if (!PO.Optimize) {
+      std::fprintf(stderr, "audit: skipped (-no-opt leaves nothing to audit)\n");
+    } else {
+      std::fprintf(stderr, "%s\n", R.Audit.summaryLine().c_str());
+      if (!R.Audit.clean())
+        return 5;
+    }
+  }
 
   if (DumpIR)
     std::printf("%s", printModule(*R.M).c_str());

@@ -29,8 +29,11 @@ DataflowResult nascent::solveDataflow(const Function &F,
   if (P.Dir == DataflowProblem::Direction::Backward)
     std::reverse(Order.begin(), Order.end());
 
-  // Initialise interior values to top so the first meet is exact.
-  for (BlockID B : Order) {
+  // Initialise every value (including unreachable blocks, which the
+  // iteration order never visits) to top so the first meet is exact and an
+  // unreachable predecessor is the meet's identity element rather than
+  // poisoning the In set of a reachable successor.
+  for (size_t B = 0; B != NumBlocks; ++B) {
     R.In[B] = Top;
     R.Out[B] = Top;
   }

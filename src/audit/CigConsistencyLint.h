@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Consistency lint for the check universe and implication graph: the
+/// auditor's guarantee that the data structures every data-flow gen/kill
+/// set is derived from are themselves well formed. Three properties are
+/// checked (see docs/audit.md):
+///
+///  1. No negative-weight asymmetry: implication edges must not form a
+///     cycle with negative total weight, which would let the as-strong-as
+///     query "strengthen" a check by going around the cycle.
+///  2. Family total order: members of each family share the family's
+///     range-expression, carry no constant part, and are strictly
+///     ascending by bound (the within-family strength order).
+///  3. Kill-set completeness: every check is reachable through the
+///     by-symbol index for each symbol of its range-expression, so a
+///     definition of any such symbol kills the check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_AUDIT_CIGCONSISTENCYLINT_H
+#define NASCENT_AUDIT_CIGCONSISTENCYLINT_H
+
+#include "audit/AuditReport.h"
+#include "checks/CheckImplicationGraph.h"
+#include "checks/CheckUniverse.h"
+
+namespace nascent {
+
+/// Lints \p U and \p CIG, appending any violation to \p Report. Returns
+/// the number of findings added. \p Where labels findings (e.g. the
+/// function name).
+size_t lintCheckImplicationGraph(const CheckUniverse &U,
+                                 const CheckImplicationGraph &CIG,
+                                 const std::string &Where,
+                                 AuditReport &Report);
+
+} // namespace nascent
+
+#endif // NASCENT_AUDIT_CIGCONSISTENCYLINT_H

@@ -67,6 +67,15 @@ public:
 
   size_t numEdges() const;
 
+  /// Visits every stored edge as Fn(From, To, Weight). The consistency
+  /// lint uses this to validate the graph's global shape (no negative
+  /// asymmetry) without widening the mutation API.
+  template <typename CallableT> void forEachEdge(CallableT Fn) const {
+    for (const auto &[From, Targets] : Edges)
+      for (const auto &[To, W] : Targets)
+        Fn(From, To, W);
+  }
+
 private:
   /// Shortest path weights from \p From via Bellman-Ford (weights can be
   /// negative; implication graphs are small and cycles with negative total

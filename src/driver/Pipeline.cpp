@@ -1,5 +1,6 @@
 #include "driver/Pipeline.h"
 
+#include "audit/TrapSafetyAuditor.h"
 #include "checks/INXSynthesis.h"
 #include "ir/Verifier.h"
 #include "lang/Parser.h"
@@ -34,6 +35,9 @@ CompileResult nascent::compileSource(const std::string &Source,
       synthesizeINXChecks(*F);
 
   if (Opts.Optimize) {
+    std::unique_ptr<Module> Snapshot;
+    if (Opts.Audit)
+      Snapshot = M->clone();
     auto TOpt = Clock::now();
     R.Stats = optimizeModule(*M, Opts.Opt, R.Diags);
     R.OptimizeSeconds =
@@ -44,6 +48,13 @@ CompileResult nascent::compileSource(const std::string &Source,
                     "internal error: optimizer produced malformed IR:\n" +
                         VerifyDiags.render());
       return R;
+    }
+    if (Opts.Audit) {
+      AuditOptions AO;
+      AO.Scheme = Opts.Opt.Scheme;
+      R.Audit = auditModulePair(*Snapshot, *M, AO);
+      if (!R.Audit.clean())
+        R.Audit.emitTo(R.Diags);
     }
   }
 

@@ -11,6 +11,7 @@
 #ifndef NASCENT_DRIVER_PIPELINE_H
 #define NASCENT_DRIVER_PIPELINE_H
 
+#include "audit/AuditReport.h"
 #include "frontend/Lowering.h"
 #include "opt/RangeCheckOptimizer.h"
 #include "support/Diagnostics.h"
@@ -34,6 +35,10 @@ struct PipelineOptions {
   /// When false the pipeline stops after lowering (the naive baseline).
   bool Optimize = true;
   RangeCheckOptions Opt;
+  /// Snapshot the pre-optimization IR and run the trap-safety auditor
+  /// over the (original, optimized) pair; findings land in
+  /// CompileResult::Audit and, as errors, in Diags.
+  bool Audit = false;
 };
 
 /// Result of one compilation.
@@ -42,6 +47,8 @@ struct CompileResult {
   std::unique_ptr<Module> M;
   DiagnosticEngine Diags;
   OptimizerStats Stats;
+  /// Trap-safety audit result; empty unless PipelineOptions::Audit.
+  AuditReport Audit;
 
   /// CPU seconds spent in the range-check optimization phase (the paper's
   /// "Range" column).

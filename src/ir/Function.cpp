@@ -76,6 +76,31 @@ unsigned Function::splitCriticalEdges() {
   return NumSplit;
 }
 
+std::unique_ptr<Function> Function::clone() const {
+  auto Copy = std::make_unique<Function>(Name);
+  Copy->Syms = Syms;
+  Copy->Params = Params;
+  Copy->ResultType = ResultType;
+  Copy->DoLoops = DoLoops;
+  Copy->Blocks.reserve(Blocks.size());
+  for (const auto &B : Blocks) {
+    auto NB = std::make_unique<BasicBlock>(B->id(), B->name());
+    NB->Insts = B->Insts;
+    NB->Preds = B->Preds;
+    Copy->Blocks.push_back(std::move(NB));
+  }
+  return Copy;
+}
+
+std::unique_ptr<Module> Module::clone() const {
+  auto Copy = std::make_unique<Module>();
+  Copy->EntryName = EntryName;
+  Copy->Funcs.reserve(Funcs.size());
+  for (const auto &F : Funcs)
+    Copy->Funcs.push_back(F->clone());
+  return Copy;
+}
+
 Function *Module::createFunction(const std::string &Name) {
   assert(function(Name) == nullptr && "duplicate function name");
   Funcs.push_back(std::make_unique<Function>(Name));

@@ -63,6 +63,12 @@ public:
   std::vector<DoLoopInfo> &doLoops() { return DoLoops; }
   const std::vector<DoLoopInfo> &doLoops() const { return DoLoops; }
 
+  /// Deep copy: blocks, instructions, symbol table, and loop metadata.
+  /// Block ids are preserved, so analyses over the copy and the source
+  /// speak about the same CFG points. The audit subsystem snapshots the
+  /// pre-optimization IR this way.
+  std::unique_ptr<Function> clone() const;
+
   /// Iteration over blocks in id order.
   auto begin() { return Blocks.begin(); }
   auto end() { return Blocks.end(); }
@@ -95,6 +101,9 @@ public:
 
   std::vector<Function *> functions();
   std::vector<const Function *> functions() const;
+
+  /// Deep copy of every function plus the entry designation.
+  std::unique_ptr<Module> clone() const;
 
 private:
   std::vector<std::unique_ptr<Function>> Funcs;

@@ -237,10 +237,9 @@ public:
 
 } // namespace
 
-IntervalStats nascent::eliminateChecksByIntervals(Function &F,
-                                                  DiagnosticEngine &Diags) {
-  IntervalStats Stats;
-  F.recomputePreds();
+IntervalCheckClassification
+nascent::classifyChecksByIntervals(const Function &F) {
+  IntervalCheckClassification C;
   IntervalSolver Solver(F);
   Solver.solve();
 
@@ -258,8 +257,8 @@ IntervalStats nascent::eliminateChecksByIntervals(Function &F,
       const State &PH = Solver.Out[DL.Preheader];
       auto EvalLin = [&](const LinearExpr &E) {
         Interval R = Interval::constant(E.constantPart());
-        for (const auto &[S, C] : E.terms())
-          R = R.add(PH[S].mulConst(C));
+        for (const auto &[S, Coef] : E.terms())
+          R = R.add(PH[S].mulConst(Coef));
         return R;
       };
       Interval Lo = EvalLin(DL.LowerBound);
@@ -272,17 +271,17 @@ IntervalStats nascent::eliminateChecksByIntervals(Function &F,
     return Interval::top();
   };
 
-  for (auto &BB : F) {
+  C.PerInst.resize(F.numBlocks());
+  for (const auto &BB : F) {
     BlockID B = BB->id();
+    C.PerInst[B].assign(BB->size(), IntervalVerdict::NotACheck);
     if (Solver.In[B].empty())
       continue; // unreachable
     State S = Solver.In[B];
-    auto &Insts = BB->instructions();
-    for (size_t Idx = 0; Idx < Insts.size();) {
-      Instruction &I = Insts[Idx];
+    for (size_t Idx = 0; Idx != BB->size(); ++Idx) {
+      const Instruction &I = BB->instructions()[Idx];
       if (I.Op != Opcode::Check) {
         Solver.transfer(I, S);
-        ++Idx;
         continue;
       }
       // Evaluate the range-expression's interval at this point.
@@ -295,12 +294,36 @@ IntervalStats nascent::eliminateChecksByIntervals(Function &F,
                        V.Hi < Refined.Hi ? V.Hi : Refined.Hi};
         E = E.add(Tight.mulConst(Coeff));
       }
-      if (E.boundedAbove() && E.Hi <= I.Check.bound()) {
-        Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
+      if (E.boundedAbove() && E.Hi <= I.Check.bound())
+        C.PerInst[B][Idx] = IntervalVerdict::AlwaysPasses;
+      else if (E.boundedBelow() && E.Lo > I.Check.bound())
+        C.PerInst[B][Idx] = IntervalVerdict::AlwaysFails;
+      else
+        C.PerInst[B][Idx] = IntervalVerdict::Unknown;
+    }
+  }
+  return C;
+}
+
+IntervalStats nascent::eliminateChecksByIntervals(Function &F,
+                                                  DiagnosticEngine &Diags) {
+  IntervalStats Stats;
+  F.recomputePreds();
+  IntervalCheckClassification C = classifyChecksByIntervals(F);
+
+  for (auto &BB : F) {
+    BlockID B = BB->id();
+    auto &Insts = BB->instructions();
+    size_t NumOrig = Insts.size();
+    size_t Cur = 0;
+    for (size_t OIdx = 0; OIdx != NumOrig; ++OIdx) {
+      switch (C.at(B, OIdx)) {
+      case IntervalVerdict::AlwaysPasses:
+        Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Cur));
         ++Stats.ChecksProvedRedundant;
         continue;
-      }
-      if (E.boundedBelow() && E.Lo > I.Check.bound()) {
+      case IntervalVerdict::AlwaysFails: {
+        const Instruction &I = Insts[Cur];
         Diags.warning(I.Origin.Loc,
                       "array range violation proved by value-range "
                       "analysis" +
@@ -310,13 +333,20 @@ IntervalStats nascent::eliminateChecksByIntervals(Function &F,
         Instruction Trap;
         Trap.Op = Opcode::Trap;
         Trap.Origin = I.Origin;
-        Insts.resize(Idx);
+        Insts.resize(Cur);
         Insts.push_back(std::move(Trap));
         ++Stats.ChecksProvedViolating;
         break;
       }
-      ++Stats.ChecksUnknown;
-      ++Idx;
+      case IntervalVerdict::Unknown:
+        ++Stats.ChecksUnknown;
+        ++Cur;
+        continue;
+      case IntervalVerdict::NotACheck:
+        ++Cur;
+        continue;
+      }
+      break; // block truncated at a proved violation
     }
   }
   F.recomputePreds();

@@ -70,6 +70,32 @@ struct IntervalStats {
   unsigned ChecksUnknown = 0;         ///< left in place
 };
 
+/// Verdict of the interval analysis for one instruction position.
+enum class IntervalVerdict : uint8_t {
+  NotACheck,    ///< not a plain Check, or the block is unreachable
+  Unknown,      ///< a check the ranges cannot decide
+  AlwaysPasses, ///< a check proved redundant on every execution reaching it
+  AlwaysFails,  ///< a check proved violating on every execution reaching it
+};
+
+/// Flow-sensitive verdicts for every plain Check of one function, indexed
+/// by (block id, instruction index) of the analysed (unmutated) IR.
+struct IntervalCheckClassification {
+  std::vector<std::vector<IntervalVerdict>> PerInst;
+
+  IntervalVerdict at(BlockID B, size_t Idx) const {
+    if (B >= PerInst.size() || Idx >= PerInst[B].size())
+      return IntervalVerdict::NotACheck;
+    return PerInst[B][Idx];
+  }
+};
+
+/// Runs the interval analysis over \p F without mutating it and classifies
+/// every plain Check instruction. Predecessor lists must be current. The
+/// trap-safety auditor uses this to certify interval-discharged deletions
+/// and compile-time traps independently of the optimizer's own run.
+IntervalCheckClassification classifyChecksByIntervals(const Function &F);
+
 /// Runs the interval analysis over \p F and deletes every check the
 /// value ranges prove redundant; checks proved to always fail become
 /// TRAP terminators and are reported into \p Diags. The analysis uses

@@ -7,31 +7,40 @@
 #include "opt/IntervalAnalysis.h"
 #include "opt/PreheaderInsertion.h"
 
+#include <cctype>
+
 using namespace nascent;
 
 bool nascent::parsePlacementScheme(const std::string &Name,
                                    PlacementScheme &Out) {
-  if (Name == "NI")
+  std::string Upper = Name;
+  for (char &C : Upper)
+    C = static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+  if (Upper == "NI")
     Out = PlacementScheme::NI;
-  else if (Name == "CS")
+  else if (Upper == "CS")
     Out = PlacementScheme::CS;
-  else if (Name == "LNI")
+  else if (Upper == "LNI")
     Out = PlacementScheme::LNI;
-  else if (Name == "SE")
+  else if (Upper == "SE")
     Out = PlacementScheme::SE;
-  else if (Name == "LI")
+  else if (Upper == "LI")
     Out = PlacementScheme::LI;
-  else if (Name == "LLS")
+  else if (Upper == "LLS")
     Out = PlacementScheme::LLS;
-  else if (Name == "ALL")
+  else if (Upper == "ALL")
     Out = PlacementScheme::ALL;
-  else if (Name == "MCM")
+  else if (Upper == "MCM")
     Out = PlacementScheme::MCM;
-  else if (Name == "AI")
+  else if (Upper == "AI")
     Out = PlacementScheme::AI;
   else
     return false;
   return true;
+}
+
+const char *nascent::placementSchemeNames() {
+  return "NI, CS, LNI, SE, LI, LLS, ALL, MCM, AI";
 }
 
 const char *nascent::placementSchemeName(PlacementScheme S) {

@@ -40,10 +40,13 @@ enum class PlacementScheme {
   AI,
 };
 
-/// Parses/prints scheme names ("NI", "CS", ...). Returns false on unknown
-/// names.
+/// Parses/prints scheme names ("NI", "CS", ...). Parsing is
+/// case-insensitive; returns false on unknown names.
 bool parsePlacementScheme(const std::string &Name, PlacementScheme &Out);
 const char *placementSchemeName(PlacementScheme S);
+
+/// Comma-separated list of every valid scheme name, for error messages.
+const char *placementSchemeNames();
 
 /// Optimizer configuration.
 struct RangeCheckOptions {

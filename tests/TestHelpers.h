@@ -27,7 +27,10 @@ inline CompileResult compileOrDie(const std::string &Source,
   return R;
 }
 
-/// Compiles with a given scheme (PRX checks, all implications).
+/// Compiles with a given scheme (PRX checks, all implications). The
+/// trap-safety auditor runs over the (original, optimized) pair and any
+/// finding fails the test: every scheme/mode an optimizer test exercises
+/// is also statically proved trap-safe.
 inline CompileResult compileWithScheme(const std::string &Source,
                                        PlacementScheme Scheme,
                                        CheckSource Src = CheckSource::PRX,
@@ -37,7 +40,11 @@ inline CompileResult compileWithScheme(const std::string &Source,
   PO.Opt.Scheme = Scheme;
   PO.Opt.Implications = Mode;
   PO.Source = Src;
-  return compileOrDie(Source, PO);
+  PO.Audit = true;
+  CompileResult R = compileOrDie(Source, PO);
+  EXPECT_TRUE(R.Audit.clean())
+      << placementSchemeName(Scheme) << ": " << R.Audit.render();
+  return R;
 }
 
 /// Naive baseline compile (checks inserted, no optimization).
