@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 
 using namespace nascent;
@@ -35,9 +36,54 @@ RunResult nascent::bench::runProgram(const SuiteProgram &Program,
   }
   R.Static = countStatic(*CR.M);
   R.Opt = CR.Stats;
-  R.OptimizeSeconds = CR.OptimizeSeconds;
-  R.TotalSeconds = CR.TotalSeconds;
+  R.OptimizeWallSeconds = CR.optimizeWallSeconds();
+  R.OptimizeCpuSeconds = CR.optimizeCpuSeconds();
+  R.TotalWallSeconds = CR.totalWallSeconds();
+  R.TotalCpuSeconds = CR.totalCpuSeconds();
   return R;
+}
+
+bool nascent::bench::parseBenchFlags(int Argc, char **Argv, BenchFlags &Out) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      Out.Json = true;
+    else if (std::strcmp(Argv[I], "--tiny") == 0)
+      Out.Tiny = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--json] [--tiny]\n", Argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<SuiteProgram> nascent::bench::benchSuite(const BenchFlags &Flags) {
+  const std::vector<SuiteProgram> &Full = benchmarkSuite();
+  if (!Flags.Tiny)
+    return Full;
+  size_t N = std::min<size_t>(3, Full.size());
+  return std::vector<SuiteProgram>(Full.begin(), Full.begin() + N);
+}
+
+void nascent::bench::writeRunJson(obs::JsonWriter &W, const char *Program,
+                                  const RunResult &Naive,
+                                  const RunResult &Run) {
+  W.beginObject();
+  W.kv("program", Program);
+  W.kv("dynChecks", Run.Exec.DynChecks);
+  W.kv("dynInstrs", Run.Exec.DynInstrs);
+  W.kv("staticChecks", Run.Static.Checks);
+  W.kv("pctEliminated", percentEliminated(Naive, Run));
+  W.key("stats");
+  Run.Opt.writeJson(W);
+  W.key("timing");
+  W.beginObject();
+  W.kv("optimizeWallSeconds", Run.OptimizeWallSeconds);
+  W.kv("optimizeCpuSeconds", Run.OptimizeCpuSeconds);
+  W.kv("totalWallSeconds", Run.TotalWallSeconds);
+  W.kv("totalCpuSeconds", Run.TotalCpuSeconds);
+  W.endObject();
+  W.endObject();
 }
 
 const RunResult &nascent::bench::naiveBaseline(const SuiteProgram &Program,

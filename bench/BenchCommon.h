@@ -11,6 +11,7 @@
 
 #include "driver/Pipeline.h"
 #include "interp/Interpreter.h"
+#include "obs/Json.h"
 #include "suite/Suite.h"
 
 #include <string>
@@ -18,14 +19,40 @@
 namespace nascent {
 namespace bench {
 
-/// One measured configuration run.
+/// One measured configuration run. Both the optimize phase and the whole
+/// pipeline are timed on both clocks (the old single-clock fields mixed
+/// CPU and wall time).
 struct RunResult {
   ExecResult Exec;
   StaticCounts Static;
   OptimizerStats Opt;
-  double OptimizeSeconds = 0;
-  double TotalSeconds = 0;
+  double OptimizeWallSeconds = 0;
+  double OptimizeCpuSeconds = 0;
+  double TotalWallSeconds = 0;
+  double TotalCpuSeconds = 0;
 };
+
+/// Common harness flags: `--json` switches the harness from the printed
+/// table to one machine-readable JSON document on stdout; `--tiny` caps
+/// interpreter work for smoke runs (bench-smoke CTest label).
+struct BenchFlags {
+  bool Json = false;
+  bool Tiny = false;
+};
+
+/// Parses argv for the common flags; returns false (after printing a
+/// usage message to stderr) on an unknown argument.
+bool parseBenchFlags(int Argc, char **Argv, BenchFlags &Out);
+
+/// The suite to iterate under \p Flags: the full ten programs normally,
+/// a three-program subset under --tiny.
+std::vector<SuiteProgram> benchSuite(const BenchFlags &Flags);
+
+/// Appends one JSON object for a measured run: the dynamic/static counts,
+/// the optimizer stats, and the dual-clock timings. Used by every table
+/// harness's --json mode (and by examples/audit_all).
+void writeRunJson(obs::JsonWriter &W, const char *Program,
+                  const RunResult &Naive, const RunResult &Run);
 
 /// Compiles and runs \p Program. When \p Optimize is false the naive
 /// baseline is produced. Terminates with a message on compile failure

@@ -20,13 +20,26 @@
 using namespace nascent;
 using namespace nascent::bench;
 
-int main() {
-  std::printf("Ablation: Markstein-Cocke-Markstein restricted hoisting vs "
-              "the paper's schemes\n(percentage of dynamic checks "
-              "eliminated, PRX checks)\n\n");
+int main(int argc, char **argv) {
+  BenchFlags Flags;
+  if (!parseBenchFlags(argc, argv, Flags))
+    return 2;
+  std::vector<SuiteProgram> Suite = benchSuite(Flags);
+
+  obs::JsonWriter W;
+  if (Flags.Json) {
+    W.beginObject();
+    W.kv("table", "ablation_markstein");
+    W.key("runs");
+    W.beginArray();
+  } else {
+    std::printf("Ablation: Markstein-Cocke-Markstein restricted hoisting vs "
+                "the paper's schemes\n(percentage of dynamic checks "
+                "eliminated, PRX checks)\n\n");
+  }
 
   std::vector<std::string> Header = {"scheme"};
-  for (const SuiteProgram &P : benchmarkSuite())
+  for (const SuiteProgram &P : Suite)
     Header.push_back(P.Name);
   TextTable T(std::move(Header));
 
@@ -34,14 +47,29 @@ int main() {
        {PlacementScheme::AI, PlacementScheme::NI, PlacementScheme::MCM,
         PlacementScheme::LI, PlacementScheme::LLS}) {
     std::vector<std::string> Row = {placementSchemeName(S)};
-    for (const SuiteProgram &P : benchmarkSuite()) {
+    for (const SuiteProgram &P : Suite) {
       const RunResult &Naive = naiveBaseline(P, CheckSource::PRX);
       RunResult Opt = runProgram(P, CheckSource::PRX, /*Optimize=*/true, S,
                                  ImplicationMode::All);
+      if (Flags.Json) {
+        W.beginObject();
+        W.kv("scheme", placementSchemeName(S));
+        W.key("run");
+        writeRunJson(W, P.Name, Naive, Opt);
+        W.endObject();
+      }
       Row.push_back(formatString("%.2f", percentEliminated(Naive, Opt)));
     }
     T.addRow(std::move(Row));
   }
+
+  if (Flags.Json) {
+    W.endArray();
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    return 0;
+  }
+
   std::printf("%s\n", T.render().c_str());
   std::printf("MCM's articulation-block and simple-expression restrictions "
               "forfeit part of LLS's\nbenefit; the paper conjectured the "

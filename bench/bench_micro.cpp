@@ -18,6 +18,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 using namespace nascent;
 
 namespace {
@@ -150,4 +154,25 @@ BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Same common flags as the table harnesses, rewritten onto
+// google-benchmark's own: --json selects JSON output, --tiny caps the
+// measured time per benchmark for the bench-smoke CTest runs.
+int main(int argc, char **argv) {
+  std::vector<std::string> Storage;
+  Storage.push_back(argv[0]);
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      Storage.push_back("--benchmark_format=json");
+    else if (std::strcmp(argv[I], "--tiny") == 0)
+      Storage.push_back("--benchmark_min_time=0.01s");
+    else
+      Storage.push_back(argv[I]);
+  }
+  std::vector<char *> Args;
+  for (std::string &S : Storage)
+    Args.push_back(S.data());
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

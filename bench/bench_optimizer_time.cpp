@@ -16,9 +16,51 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 using namespace nascent;
 
 namespace {
+
+/// Whether --tiny was given: run a reduced suite for smoke validation.
+bool TinyRun = false;
+
+/// Rewrites the common harness flags onto google-benchmark's own:
+/// --json becomes --benchmark_format=json, --tiny caps the measured time
+/// (and trims the suite via TinyRun). Everything else passes through.
+std::vector<char *> translateBenchArgs(int &Argc, char **Argv,
+                                       std::vector<std::string> &Storage) {
+  Storage.clear();
+  Storage.push_back(Argv[0]);
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      Storage.push_back("--benchmark_format=json");
+    else if (std::strcmp(Argv[I], "--tiny") == 0) {
+      TinyRun = true;
+      Storage.push_back("--benchmark_min_time=0.01s");
+      // A representative subset (cheapest, the paper's best, and one PRE
+      // scheme) keeps the smoke run to a few seconds.
+      Storage.push_back("--benchmark_filter=BM_Optimize/(NI|SE|LLS)/PRX");
+    } else
+      Storage.push_back(Argv[I]);
+  }
+  std::vector<char *> Out;
+  for (std::string &S : Storage)
+    Out.push_back(S.data());
+  Argc = static_cast<int>(Out.size());
+  return Out;
+}
+
+/// The suite under measurement (trimmed under --tiny).
+std::vector<SuiteProgram> measuredSuite() {
+  const std::vector<SuiteProgram> &Full = benchmarkSuite();
+  if (!TinyRun)
+    return Full;
+  return std::vector<SuiteProgram>(Full.begin(),
+                                   Full.begin() + std::min<size_t>(3, Full.size()));
+}
 
 /// Compiles the whole suite without optimization, once per timing
 /// iteration (outside the measured region), then times optimizeModule.
@@ -32,7 +74,7 @@ void benchScheme(benchmark::State &State, PlacementScheme Scheme,
   for (auto _ : State) {
     State.PauseTiming();
     std::vector<std::unique_ptr<Module>> Modules;
-    for (const SuiteProgram &P : benchmarkSuite()) {
+    for (const SuiteProgram &P : measuredSuite()) {
       CompileResult R = compileSource(P.Source, Naive);
       if (!R.Success)
         State.SkipWithError("suite program failed to compile");
@@ -86,8 +128,10 @@ void registerAll() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::vector<std::string> Storage;
+  std::vector<char *> Args = translateBenchArgs(argc, argv, Storage);
   registerAll();
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&argc, Args.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// json_check: runs a command, captures its stdout, and verifies the
+/// output parses as a single JSON document. The bench-smoke CTest entries
+/// use it to validate every harness's --json mode:
+///
+///   json_check ./table2_schemes --json --tiny
+///
+/// Exits 0 on valid JSON, 1 on a parse failure or a failing command.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace nascent;
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: json_check COMMAND [ARGS...]\n");
+    return 2;
+  }
+
+  std::string Cmd;
+  for (int I = 1; I < argc; ++I) {
+    if (I > 1)
+      Cmd += ' ';
+    Cmd += argv[I];
+  }
+
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P) {
+    std::fprintf(stderr, "json_check: cannot run '%s'\n", Cmd.c_str());
+    return 1;
+  }
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  int Status = pclose(P);
+  if (Status != 0) {
+    std::fprintf(stderr, "json_check: '%s' exited with status %d\n",
+                 Cmd.c_str(), Status);
+    return 1;
+  }
+
+  obs::JsonValue V;
+  std::string Err;
+  if (!obs::parseJson(Out, V, &Err)) {
+    std::fprintf(stderr, "json_check: '%s' output is not valid JSON: %s\n",
+                 Cmd.c_str(), Err.c_str());
+    return 1;
+  }
+  std::printf("json_check: %s: ok (%zu bytes of JSON)\n", Cmd.c_str(),
+              Out.size());
+  return 0;
+}

@@ -17,17 +17,43 @@
 using namespace nascent;
 using namespace nascent::bench;
 
-int main() {
-  std::printf("Table 1: program characteristics of benchmark programs\n");
-  std::printf("(naive range checking, no optimization; PRX lowering)\n\n");
+int main(int argc, char **argv) {
+  BenchFlags Flags;
+  if (!parseBenchFlags(argc, argv, Flags))
+    return 2;
+  std::vector<SuiteProgram> Suite = benchSuite(Flags);
+
+  obs::JsonWriter W;
+  if (Flags.Json) {
+    W.beginObject();
+    W.kv("table", "table1_characteristics");
+    W.key("programs");
+    W.beginArray();
+  } else {
+    std::printf("Table 1: program characteristics of benchmark programs\n");
+    std::printf("(naive range checking, no optimization; PRX lowering)\n\n");
+  }
 
   TextTable T({"suite", "program", "lines", "subr", "loops", "instr-static",
                "instr-dynamic", "checks-static", "checks-dynamic",
                "chk/ins st %", "chk/ins dy %"});
 
   uint64_t MinRatio = ~uint64_t(0), MaxRatio = 0;
-  for (const SuiteProgram &P : benchmarkSuite()) {
+  for (const SuiteProgram &P : Suite) {
     const RunResult &R = naiveBaseline(P, CheckSource::PRX);
+    if (Flags.Json) {
+      W.beginObject();
+      W.kv("program", P.Name);
+      W.kv("suite", P.Origin);
+      W.kv("lines", static_cast<uint64_t>(countSourceLines(P.Source)));
+      W.kv("subroutines", R.Static.Units);
+      W.kv("loops", R.Static.Loops);
+      W.kv("staticInstrs", R.Static.Instrs);
+      W.kv("dynInstrs", R.Exec.DynInstrs);
+      W.kv("staticChecks", R.Static.Checks);
+      W.kv("dynChecks", R.Exec.DynChecks);
+      W.endObject();
+    }
     double StRatio =
         100.0 * double(R.Static.Checks) / double(R.Static.Instrs);
     double DyRatio =
@@ -43,6 +69,14 @@ int main() {
     MinRatio = std::min(MinRatio, Rat);
     MaxRatio = std::max(MaxRatio, Rat);
   }
+
+  if (Flags.Json) {
+    W.endArray();
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    return 0;
+  }
+
   std::printf("%s\n", T.render().c_str());
   std::printf("Dynamic check/instruction ratio ranges from %llu%% to %llu%%; "
               "with a check costing at\n"

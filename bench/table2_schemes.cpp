@@ -17,19 +17,31 @@
 using namespace nascent;
 using namespace nascent::bench;
 
-int main() {
-  std::printf("Table 2: percentage of checks eliminated by the placement "
-              "schemes, and compilation time\n\n");
+int main(int argc, char **argv) {
+  BenchFlags Flags;
+  if (!parseBenchFlags(argc, argv, Flags))
+    return 2;
+  std::vector<SuiteProgram> Suite = benchSuite(Flags);
 
   const PlacementScheme Schemes[] = {
       PlacementScheme::NI, PlacementScheme::CS,  PlacementScheme::LNI,
       PlacementScheme::SE, PlacementScheme::LI,  PlacementScheme::LLS,
       PlacementScheme::ALL};
 
+  obs::JsonWriter W;
+  if (Flags.Json) {
+    W.beginObject();
+    W.kv("table", "table2_schemes");
+    W.key("runs");
+    W.beginArray();
+  } else {
+    std::printf("Table 2: percentage of checks eliminated by the placement "
+                "schemes, and compilation time\n\n");
+  }
+
   for (CheckSource Source : {CheckSource::PRX, CheckSource::INX}) {
-    std::printf("%s-Checks:\n", checkSourceName(Source));
     std::vector<std::string> Header = {"scheme"};
-    for (const SuiteProgram &P : benchmarkSuite())
+    for (const SuiteProgram &P : Suite)
       Header.push_back(P.Name);
     Header.push_back("Range(s)");
     Header.push_back("Total(s)");
@@ -38,19 +50,37 @@ int main() {
     for (PlacementScheme Scheme : Schemes) {
       std::vector<std::string> Row = {placementSchemeName(Scheme)};
       double RangeSecs = 0, TotalSecs = 0;
-      for (const SuiteProgram &P : benchmarkSuite()) {
+      for (const SuiteProgram &P : Suite) {
         const RunResult &Naive = naiveBaseline(P, Source);
         RunResult Opt = runProgram(P, Source, /*Optimize=*/true, Scheme,
                                    ImplicationMode::All);
+        if (Flags.Json) {
+          W.beginObject();
+          W.kv("source", checkSourceName(Source));
+          W.kv("scheme", placementSchemeName(Scheme));
+          W.key("run");
+          writeRunJson(W, P.Name, Naive, Opt);
+          W.endObject();
+        }
         Row.push_back(formatString("%.2f", percentEliminated(Naive, Opt)));
-        RangeSecs += Opt.OptimizeSeconds;
-        TotalSecs += Opt.TotalSeconds;
+        RangeSecs += Opt.OptimizeWallSeconds;
+        TotalSecs += Opt.TotalWallSeconds;
       }
       Row.push_back(formatString("%.3f", RangeSecs));
       Row.push_back(formatString("%.3f", TotalSecs));
       T.addRow(std::move(Row));
     }
-    std::printf("%s\n", T.render().c_str());
+    if (!Flags.Json) {
+      std::printf("%s-Checks:\n", checkSourceName(Source));
+      std::printf("%s\n", T.render().c_str());
+    }
+  }
+
+  if (Flags.Json) {
+    W.endArray();
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    return 0;
   }
 
   std::printf(

@@ -19,9 +19,11 @@
 using namespace nascent;
 using namespace nascent::bench;
 
-int main() {
-  std::printf("Table 3: checks eliminated with and without implications "
-              "between checks\n\n");
+int main(int argc, char **argv) {
+  BenchFlags Flags;
+  if (!parseBenchFlags(argc, argv, Flags))
+    return 2;
+  std::vector<SuiteProgram> Suite = benchSuite(Flags);
 
   struct Config {
     const char *Label;
@@ -37,10 +39,20 @@ int main() {
       {"LLS'", PlacementScheme::LLS, ImplicationMode::CrossFamilyOnly},
   };
 
+  obs::JsonWriter W;
+  if (Flags.Json) {
+    W.beginObject();
+    W.kv("table", "table3_implication");
+    W.key("runs");
+    W.beginArray();
+  } else {
+    std::printf("Table 3: checks eliminated with and without implications "
+                "between checks\n\n");
+  }
+
   for (CheckSource Source : {CheckSource::PRX, CheckSource::INX}) {
-    std::printf("%s-Checks:\n", checkSourceName(Source));
     std::vector<std::string> Header = {"scheme"};
-    for (const SuiteProgram &P : benchmarkSuite())
+    for (const SuiteProgram &P : Suite)
       Header.push_back(P.Name);
     Header.push_back("Range(s)");
     Header.push_back("Total(s)");
@@ -49,19 +61,37 @@ int main() {
     for (const Config &C : Configs) {
       std::vector<std::string> Row = {C.Label};
       double RangeSecs = 0, TotalSecs = 0;
-      for (const SuiteProgram &P : benchmarkSuite()) {
+      for (const SuiteProgram &P : Suite) {
         const RunResult &Naive = naiveBaseline(P, Source);
         RunResult Opt =
             runProgram(P, Source, /*Optimize=*/true, C.Scheme, C.Mode);
+        if (Flags.Json) {
+          W.beginObject();
+          W.kv("source", checkSourceName(Source));
+          W.kv("config", C.Label);
+          W.key("run");
+          writeRunJson(W, P.Name, Naive, Opt);
+          W.endObject();
+        }
         Row.push_back(formatString("%.2f", percentEliminated(Naive, Opt)));
-        RangeSecs += Opt.OptimizeSeconds;
-        TotalSecs += Opt.TotalSeconds;
+        RangeSecs += Opt.OptimizeWallSeconds;
+        TotalSecs += Opt.TotalWallSeconds;
       }
       Row.push_back(formatString("%.3f", RangeSecs));
       Row.push_back(formatString("%.3f", TotalSecs));
       T.addRow(std::move(Row));
     }
-    std::printf("%s\n", T.render().c_str());
+    if (!Flags.Json) {
+      std::printf("%s-Checks:\n", checkSourceName(Source));
+      std::printf("%s\n", T.render().c_str());
+    }
+  }
+
+  if (Flags.Json) {
+    W.endArray();
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    return 0;
   }
 
   std::printf("Shape expectations from the paper: the primed variants "

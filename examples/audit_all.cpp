@@ -8,16 +8,59 @@
 /// optimizer that silently weakens trap safety fails here even when no
 /// hand-written test exercises the broken placement.
 ///
+/// The sweep summary reports the optimizer phase cost per configuration
+/// (both clocks, summed over the suite); `--json` emits the whole sweep
+/// as one machine-readable document instead.
+///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "obs/Json.h"
 #include "suite/Suite.h"
+#include "support/StringUtils.h"
 
 #include <cstdio>
+#include <cstring>
+#include <map>
 
 using namespace nascent;
 
-int main() {
+namespace {
+
+const char *implicationModeName(ImplicationMode M) {
+  switch (M) {
+  case ImplicationMode::All:
+    return "all";
+  case ImplicationMode::CrossFamilyOnly:
+    return "cross";
+  case ImplicationMode::None:
+    return "none";
+  }
+  return "?";
+}
+
+/// Accumulated optimizer phase cost of one (scheme, mode) configuration.
+struct ConfigTiming {
+  double OptimizeWall = 0;
+  double OptimizeCpu = 0;
+  double TotalWall = 0;
+  double TotalCpu = 0;
+  unsigned Runs = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Json = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--json]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const PlacementScheme Schemes[] = {
       PlacementScheme::NI,  PlacementScheme::CS,  PlacementScheme::LNI,
       PlacementScheme::SE,  PlacementScheme::LI,  PlacementScheme::LLS,
@@ -26,8 +69,17 @@ int main() {
                                    ImplicationMode::CrossFamilyOnly,
                                    ImplicationMode::None};
 
+  obs::JsonWriter W;
+  if (Json) {
+    W.beginObject();
+    W.kv("tool", "audit_all");
+    W.key("runs");
+    W.beginArray();
+  }
+
   unsigned Runs = 0, Failures = 0;
   AuditStats Total;
+  std::map<std::pair<std::string, std::string>, ConfigTiming> Timings;
   for (const SuiteProgram &P : benchmarkSuite()) {
     for (PlacementScheme Scheme : Schemes) {
       for (ImplicationMode Mode : Modes) {
@@ -44,6 +96,33 @@ int main() {
           ++Failures;
           continue;
         }
+        ConfigTiming &CT = Timings[{placementSchemeName(Scheme),
+                                    implicationModeName(Mode)}];
+        CT.OptimizeWall += R.optimizeWallSeconds();
+        CT.OptimizeCpu += R.optimizeCpuSeconds();
+        CT.TotalWall += R.totalWallSeconds();
+        CT.TotalCpu += R.totalCpuSeconds();
+        ++CT.Runs;
+        if (Json) {
+          W.beginObject();
+          W.kv("program", P.Name);
+          W.kv("scheme", placementSchemeName(Scheme));
+          W.kv("impl", implicationModeName(Mode));
+          W.kv("clean", R.Audit.clean());
+          W.key("stats");
+          R.Stats.writeJson(W);
+          W.key("phases");
+          W.beginArray();
+          for (const obs::PhaseTiming &Ph : R.Phases.Phases) {
+            W.beginObject();
+            W.kv("name", Ph.Name);
+            W.kv("wallSeconds", Ph.WallSeconds);
+            W.kv("cpuSeconds", Ph.CpuSeconds);
+            W.endObject();
+          }
+          W.endArray();
+          W.endObject();
+        }
         Total += R.Audit.stats();
         if (!R.Audit.clean()) {
           std::fprintf(stderr, "audit_all: %s scheme=%s impl=%d FAILED\n%s",
@@ -55,10 +134,43 @@ int main() {
     }
   }
 
+  if (Json) {
+    W.endArray();
+    W.kv("runs", Runs);
+    W.kv("failures", Failures);
+    W.key("configTimings");
+    W.beginArray();
+    for (const auto &[Key, CT] : Timings) {
+      W.beginObject();
+      W.kv("scheme", Key.first);
+      W.kv("impl", Key.second);
+      W.kv("optimizeWallSeconds", CT.OptimizeWall);
+      W.kv("optimizeCpuSeconds", CT.OptimizeCpu);
+      W.kv("totalWallSeconds", CT.TotalWall);
+      W.kv("totalCpuSeconds", CT.TotalCpu);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    return Failures ? 1 : 0;
+  }
+
   std::printf("audit_all: %u runs, %u failures; checks=%u condchecks=%u "
               "traps=%u covered=%u facts=%u\n",
               Runs, Failures, Total.ChecksAudited, Total.CondChecksAudited,
               Total.TrapsAudited, Total.OriginalChecksCovered,
               Total.FactsValidated);
+
+  std::printf("\noptimizer phase cost per configuration (seconds over the "
+              "suite):\n");
+  TextTable T({"scheme", "impl", "opt wall", "opt cpu", "total wall",
+               "total cpu"});
+  for (const auto &[Key, CT] : Timings)
+    T.addRow({Key.first, Key.second, formatString("%.3f", CT.OptimizeWall),
+              formatString("%.3f", CT.OptimizeCpu),
+              formatString("%.3f", CT.TotalWall),
+              formatString("%.3f", CT.TotalCpu)});
+  std::printf("%s", T.render().c_str());
   return Failures ? 1 : 0;
 }

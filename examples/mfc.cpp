@@ -19,6 +19,17 @@
 ///     -emit-c                           print instrumented C instead of
 ///                                       running the program
 ///     -quiet                            suppress program output
+///     -stats-json                       print optimizer stats, phase
+///                                       timings, and the global stat
+///                                       registry as JSON on stdout
+///     -trace-out=PATH                   write a Chrome trace_event JSON
+///                                       of the pipeline/optimizer phases
+///                                       (open in Perfetto)
+///     -remarks[=REGEX]                  print one remark per optimizer
+///                                       decision to stderr, optionally
+///                                       filtered by family/array regex;
+///                                       residual checks are annotated
+///                                       with their dynamic hit counts
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,10 +37,13 @@
 #include "driver/Pipeline.h"
 #include "interp/Interpreter.h"
 #include "ir/IRPrinter.h"
+#include "obs/Json.h"
+#include "obs/StatRegistry.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 using namespace nascent;
@@ -40,7 +54,8 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: mfc [-scheme=NAME] [-impl=all|cross|none] [-inx] [-audit]\n"
-      "           [-no-opt] [-no-checks] [-dump-ir] [-emit-c] [-quiet] "
+      "           [-no-opt] [-no-checks] [-dump-ir] [-emit-c] [-quiet]\n"
+      "           [-stats-json] [-trace-out=PATH] [-remarks[=REGEX]] "
       "file.mf\n");
 }
 
@@ -51,6 +66,7 @@ int main(int argc, char **argv) {
   bool DumpIR = false;
   bool EmitC = false;
   bool Quiet = false;
+  bool StatsJson = false;
   const char *Path = nullptr;
 
   for (int I = 1; I < argc; ++I) {
@@ -81,6 +97,16 @@ int main(int argc, char **argv) {
       EmitC = true;
     } else if (std::strcmp(Arg, "-quiet") == 0) {
       Quiet = true;
+    } else if (std::strcmp(Arg, "-stats-json") == 0) {
+      StatsJson = true;
+    } else if (std::strncmp(Arg, "-trace-out=", 11) == 0) {
+      PO.Telemetry.Trace = true;
+      PO.Telemetry.TracePath = Arg + 11;
+    } else if (std::strcmp(Arg, "-remarks") == 0) {
+      PO.Telemetry.Remarks = true;
+    } else if (std::strncmp(Arg, "-remarks=", 9) == 0) {
+      PO.Telemetry.Remarks = true;
+      PO.Telemetry.RemarkFilter = Arg + 9;
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "mfc: unknown option '%s'\n", Arg);
       usage();
@@ -105,6 +131,11 @@ int main(int argc, char **argv) {
   std::stringstream SS;
   SS << In.rdbuf();
 
+  // The interpreter phase below wants to appear in the trace, so the
+  // pipeline must not write the file yet; mfc writes it after the run.
+  std::string TracePath = PO.Telemetry.TracePath;
+  PO.Telemetry.TracePath.clear();
+
   CompileResult R = compileSource(SS.str(), PO);
   std::string Diags = R.Diags.render();
   if (!Diags.empty())
@@ -128,10 +159,63 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  ExecResult E = interpret(*R.M);
+  ExecResult E;
+  {
+    obs::TraceScope Scope(&R.Trace, "interpret");
+    InterpOptions IO;
+    // Joining dynamic counts onto residual-check remarks needs per-site
+    // counters.
+    IO.CountCheckSites = PO.Telemetry.Remarks;
+    E = interpret(*R.M, IO);
+  }
   if (!Quiet)
     for (const std::string &Line : E.Output)
       std::printf("%s\n", Line.c_str());
+
+  if (PO.Telemetry.Remarks) {
+    emitResidualCheckRemarks(*R.M, E.CheckSites, R.Remarks);
+    R.Remarks.renderText(std::cerr);
+  }
+
+  if (!TracePath.empty()) {
+    std::string Err;
+    if (!R.Trace.writeFile(TracePath, &Err)) {
+      std::fprintf(stderr, "mfc: cannot write trace file: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+
+  if (StatsJson) {
+    obs::JsonWriter W;
+    W.beginObject();
+    W.key("optimizer");
+    R.Stats.writeJson(W);
+    W.key("phases");
+    W.beginArray();
+    for (const obs::PhaseTiming &P : R.Phases.Phases) {
+      W.beginObject();
+      W.kv("name", P.Name);
+      W.kv("wallStart", P.WallStart);
+      W.kv("wallSeconds", P.WallSeconds);
+      W.kv("cpuSeconds", P.CpuSeconds);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("interp");
+    W.beginObject();
+    W.kv("dynInstrs", E.DynInstrs);
+    W.kv("dynChecks", E.DynChecks);
+    W.kv("dynCondChecks", E.DynCondChecks);
+    W.endObject();
+    W.key("registry");
+    obs::StatRegistry::global().writeJson(W);
+    if (PO.Telemetry.Remarks) {
+      W.key("remarks");
+      R.Remarks.writeJson(W);
+    }
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+  }
 
   switch (E.St) {
   case ExecResult::Status::Ok:
@@ -147,9 +231,10 @@ int main(int argc, char **argv) {
 
   std::fprintf(stderr,
                "[mfc] %llu instructions, %llu range checks executed "
-               "(%llu conditional); optimize %.3fs\n",
+               "(%llu conditional); optimize %.3fs wall / %.3fs cpu\n",
                (unsigned long long)E.DynInstrs,
                (unsigned long long)E.DynChecks,
-               (unsigned long long)E.DynCondChecks, R.OptimizeSeconds);
+               (unsigned long long)E.DynCondChecks, R.optimizeWallSeconds(),
+               R.optimizeCpuSeconds());
   return E.St == ExecResult::Status::Trapped ? 4 : 0;
 }

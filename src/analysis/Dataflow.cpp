@@ -1,11 +1,18 @@
 #include "analysis/Dataflow.h"
 
 #include "analysis/CFGUtils.h"
+#include "obs/StatRegistry.h"
 
 #include <algorithm>
 #include <cassert>
 
 using namespace nascent;
+
+NASCENT_STAT(NumSolves, "dataflow.solves", "data-flow problems solved");
+NASCENT_STAT(NumIterations, "dataflow.iterations",
+             "total round-robin passes over the CFG");
+NASCENT_STAT_HISTOGRAM(IterationsPerSolve, "dataflow.iterations_per_solve",
+                       "passes to reach the fixpoint, per solve");
 
 DataflowResult nascent::solveDataflow(const Function &F,
                                       const DataflowProblem &P) {
@@ -38,9 +45,11 @@ DataflowResult nascent::solveDataflow(const Function &F,
     R.Out[B] = Top;
   }
 
+  uint64_t Passes = 0;
   bool Changed = true;
   while (Changed) {
     Changed = false;
+    ++Passes;
     for (BlockID B : Order) {
       const BasicBlock *BB = F.block(B);
       if (P.Dir == DataflowProblem::Direction::Forward) {
@@ -101,5 +110,8 @@ DataflowResult nascent::solveDataflow(const Function &F,
       }
     }
   }
+  ++NumSolves;
+  NumIterations += Passes;
+  IterationsPerSolve.record(Passes);
   return R;
 }

@@ -1,8 +1,13 @@
 #include "checks/CheckUniverse.h"
 
+#include "obs/StatRegistry.h"
+
 #include <algorithm>
 
 using namespace nascent;
+
+NASCENT_STAT(NumInterned, "checks.universe.interned",
+             "distinct checks interned into universes");
 
 CheckID CheckUniverse::intern(const CheckExpr &C) {
   auto It = Interned.find(C);
@@ -13,6 +18,7 @@ CheckID CheckUniverse::intern(const CheckExpr &C) {
   Checks.push_back(C);
   Interned.emplace(C, ID);
   ++Generation;
+  ++NumInterned;
 
   FamilyID F;
   if (FamilyPerCheck) {

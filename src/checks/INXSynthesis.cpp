@@ -4,11 +4,23 @@
 #include "analysis/InductionVariables.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/SSA.h"
+#include "obs/StatRegistry.h"
 
 #include <map>
 #include <set>
 
 using namespace nascent;
+
+NASCENT_STAT(NumInxSeen, "checks.inx.seen",
+             "checks examined by INX synthesis");
+NASCENT_STAT(NumInxLinear, "checks.inx.rewritten_linear",
+             "checks rewritten to linear induction form");
+NASCENT_STAT(NumInxInvariant, "checks.inx.rewritten_invariant",
+             "checks rewritten over loop-entry snapshots");
+NASCENT_STAT(NumInxSnapshots, "checks.inx.snapshots",
+             "loop-entry snapshot copies inserted");
+NASCENT_STAT(NumInxBasicVars, "checks.inx.basic_vars",
+             "basic loop variables materialised");
 
 namespace {
 
@@ -196,5 +208,10 @@ INXStats nascent::synthesizeINXChecks(Function &F) {
     F.block(SN.Preheader)->insertBeforeTerminator(std::move(Copy));
     ++Stats.SnapshotsInserted;
   }
+  NumInxSeen += Stats.ChecksSeen;
+  NumInxLinear += Stats.RewrittenLinear;
+  NumInxInvariant += Stats.RewrittenInvariant;
+  NumInxSnapshots += Stats.SnapshotsInserted;
+  NumInxBasicVars += Stats.BasicVarsMaterialized;
   return Stats;
 }

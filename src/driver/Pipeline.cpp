@@ -15,41 +15,99 @@ CompileResult nascent::compileSource(const std::string &Source,
   using Clock = std::chrono::steady_clock;
   CompileResult R;
   auto T0 = Clock::now();
+  double Cpu0 = obs::processCpuSeconds();
 
-  Parser P(Source, R.Diags);
-  std::unique_ptr<ProgramAST> AST = P.parseProgram();
-  if (R.Diags.hasErrors())
+  if (Opts.Telemetry.Trace || !Opts.Telemetry.TracePath.empty())
+    R.Trace.enable();
+  if (Opts.Telemetry.Remarks)
+    R.Remarks.enable(Opts.Telemetry.RemarkFilter);
+
+  // The "total" phase is recorded explicitly (not via ScopedPhase) so it
+  // covers every exit path, including early returns on front-end errors.
+  auto Finish = [&] {
+    obs::PhaseTiming Total;
+    Total.Name = "total";
+    Total.WallSeconds = std::chrono::duration<double>(Clock::now() - T0).count();
+    Total.CpuSeconds = obs::processCpuSeconds() - Cpu0;
+    R.Phases.Phases.push_back(std::move(Total));
+    if (!Opts.Telemetry.TracePath.empty()) {
+      std::string Err;
+      if (!R.Trace.writeFile(Opts.Telemetry.TracePath, &Err))
+        R.Diags.error(SourceLocation(), "cannot write trace file: " + Err);
+    }
+  };
+
+  std::unique_ptr<ProgramAST> AST;
+  {
+    obs::ScopedPhase Ph(R.Phases, "parse", T0, &R.Trace);
+    Parser P(Source, R.Diags);
+    AST = P.parseProgram();
+  }
+  if (R.Diags.hasErrors()) {
+    Finish();
     return R;
+  }
 
-  Sema S(*AST, R.Diags);
-  std::unique_ptr<Module> M = S.run();
-  if (!M || R.Diags.hasErrors())
+  std::unique_ptr<Module> M;
+  {
+    obs::ScopedPhase Ph(R.Phases, "sema", T0, &R.Trace);
+    Sema S(*AST, R.Diags);
+    M = S.run();
+  }
+  if (!M || R.Diags.hasErrors()) {
+    Finish();
     return R;
+  }
 
-  lowerProgram(*AST, *M, Opts.Lowering);
-  if (!verifyModule(*M, R.Diags))
+  {
+    obs::ScopedPhase Ph(R.Phases, "lower", T0, &R.Trace);
+    lowerProgram(*AST, *M, Opts.Lowering);
+  }
+  bool VerifyOk;
+  {
+    obs::ScopedPhase Ph(R.Phases, "verify", T0, &R.Trace);
+    VerifyOk = verifyModule(*M, R.Diags);
+  }
+  if (!VerifyOk) {
+    Finish();
     return R;
+  }
 
-  if (Opts.Source == CheckSource::INX)
+  if (Opts.Source == CheckSource::INX) {
+    obs::ScopedPhase Ph(R.Phases, "inx-synthesis", T0, &R.Trace);
     for (Function *F : M->functions())
       synthesizeINXChecks(*F);
+  }
 
   if (Opts.Optimize) {
     std::unique_ptr<Module> Snapshot;
-    if (Opts.Audit)
+    if (Opts.Audit) {
+      obs::ScopedPhase Ph(R.Phases, "snapshot", T0, &R.Trace);
       Snapshot = M->clone();
-    auto TOpt = Clock::now();
-    R.Stats = optimizeModule(*M, Opts.Opt, R.Diags);
-    R.OptimizeSeconds =
-        std::chrono::duration<double>(Clock::now() - TOpt).count();
-    DiagnosticEngine VerifyDiags;
-    if (!verifyModule(*M, VerifyDiags)) {
-      R.Diags.error(SourceLocation(),
-                    "internal error: optimizer produced malformed IR:\n" +
-                        VerifyDiags.render());
+    }
+    {
+      obs::ScopedPhase Ph(R.Phases, "optimize", T0, &R.Trace);
+      RangeCheckOptions OC = Opts.Opt;
+      OC.Remarks = &R.Remarks;
+      OC.Trace = &R.Trace;
+      R.Stats = optimizeModule(*M, OC, R.Diags);
+    }
+    bool PostOk;
+    {
+      obs::ScopedPhase Ph(R.Phases, "verify-post", T0, &R.Trace);
+      DiagnosticEngine VerifyDiags;
+      PostOk = verifyModule(*M, VerifyDiags);
+      if (!PostOk)
+        R.Diags.error(SourceLocation(),
+                      "internal error: optimizer produced malformed IR:\n" +
+                          VerifyDiags.render());
+    }
+    if (!PostOk) {
+      Finish();
       return R;
     }
     if (Opts.Audit) {
+      obs::ScopedPhase Ph(R.Phases, "audit", T0, &R.Trace);
       AuditOptions AO;
       AO.Scheme = Opts.Opt.Scheme;
       R.Audit = auditModulePair(*Snapshot, *M, AO);
@@ -58,7 +116,7 @@ CompileResult nascent::compileSource(const std::string &Source,
     }
   }
 
-  R.TotalSeconds = std::chrono::duration<double>(Clock::now() - T0).count();
+  Finish();
   R.M = std::move(M);
   R.Success = true;
   return R;

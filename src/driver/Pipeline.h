@@ -13,6 +13,8 @@
 
 #include "audit/AuditReport.h"
 #include "frontend/Lowering.h"
+#include "obs/Remarks.h"
+#include "obs/Trace.h"
 #include "opt/RangeCheckOptimizer.h"
 #include "support/Diagnostics.h"
 
@@ -39,6 +41,23 @@ struct PipelineOptions {
   /// over the (original, optimized) pair; findings land in
   /// CompileResult::Audit and, as errors, in Diags.
   bool Audit = false;
+
+  /// Telemetry switches. Phase timings (CompileResult::Phases) are always
+  /// measured; these control the heavier trace/remark streams.
+  struct TelemetryOptions {
+    /// Record Chrome trace_event spans (pipeline phases plus optimizer
+    /// sub-phases) into CompileResult::Trace.
+    bool Trace = false;
+    /// When non-empty, additionally write the trace JSON to this file at
+    /// the end of compilation (implies Trace).
+    std::string TracePath;
+    /// Collect one structured remark per per-check optimizer decision
+    /// into CompileResult::Remarks.
+    bool Remarks = false;
+    /// Optional ECMAScript regex restricting remarks to matching check
+    /// families / array names (like LLVM's -Rpass=<regex>).
+    std::string RemarkFilter;
+  } Telemetry;
 };
 
 /// Result of one compilation.
@@ -50,11 +69,24 @@ struct CompileResult {
   /// Trap-safety audit result; empty unless PipelineOptions::Audit.
   AuditReport Audit;
 
-  /// CPU seconds spent in the range-check optimization phase (the paper's
-  /// "Range" column).
-  double OptimizeSeconds = 0;
+  /// Per-phase timing breakdown (parse, sema, lower, verify, optimize,
+  /// ..., total), each phase measured on both the wall clock and the
+  /// process CPU clock. Always populated, even on failed compiles.
+  obs::PhaseTimings Phases;
+  /// Trace spans; empty unless PipelineOptions::Telemetry enables them.
+  obs::TraceCollector Trace;
+  /// Optimization remarks; empty unless Telemetry.Remarks.
+  obs::RemarkCollector Remarks;
+
+  /// Wall-clock seconds spent in the range-check optimization phase (the
+  /// paper's "Range" column was measured on this clock).
+  double optimizeWallSeconds() const { return Phases.wallOf("optimize"); }
+  /// CPU seconds of the same phase.
+  double optimizeCpuSeconds() const { return Phases.cpuOf("optimize"); }
   /// Wall-clock seconds for the whole pipeline (the "Nascent" column).
-  double TotalSeconds = 0;
+  double totalWallSeconds() const { return Phases.wallOf("total"); }
+  /// CPU seconds for the whole pipeline.
+  double totalCpuSeconds() const { return Phases.cpuOf("total"); }
 };
 
 /// Compiles \p Source with \p Opts. On front-end errors, Success is false

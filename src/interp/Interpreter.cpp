@@ -4,12 +4,19 @@
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "ir/IRPrinter.h"
+#include "obs/StatRegistry.h"
 #include "support/StringUtils.h"
 
 #include <cmath>
+#include <map>
 #include <memory>
+#include <tuple>
 
 using namespace nascent;
+
+NASCENT_STAT(NumRuns, "interp.runs", "module executions");
+NASCENT_STAT(NumDynChecks, "interp.dyn_checks",
+             "range checks executed across all runs");
 
 namespace {
 
@@ -153,6 +160,12 @@ private:
   const Module &M;
   const InterpOptions &Opts;
   ExecResult &R;
+
+public:
+  /// Per-site check execution tallies (CountCheckSites only), keyed by
+  /// (function, block, instruction index).
+  std::map<std::tuple<const Function *, BlockID, size_t>, uint64_t>
+      SiteCounts;
 };
 
 void Executor::execute(Frame &Fr, Cell &ResultOut, unsigned Depth) {
@@ -182,6 +195,8 @@ void Executor::execute(Frame &Fr, Cell &ResultOut, unsigned Depth) {
       ++R.DynChecks;
       if (I.Op == Opcode::CondCheck)
         ++R.DynCondChecks;
+      if (Opts.CountCheckSites)
+        ++SiteCounts[{Fr.F, Cur, Idx}];
     } else if (I.Op == Opcode::Load || I.Op == Opcode::Store) {
       // Count the address arithmetic the paper's C back end would emit:
       // one multiply and one add per dimension plus the access itself.
@@ -528,6 +543,13 @@ ExecResult nascent::interpret(const Module &M, const InterpOptions &Opts) {
   }
   Executor E(M, Opts, R);
   E.runEntry(*Entry);
+  for (const auto &[Site, Count] : E.SiteCounts) {
+    const auto &[F, Block, Idx] = Site;
+    R.CheckSites.push_back({F->name(), Block, static_cast<uint32_t>(Idx),
+                            Count});
+  }
+  ++NumRuns;
+  NumDynChecks += R.DynChecks;
   return R;
 }
 

@@ -13,6 +13,7 @@
 #define NASCENT_INTERP_INTERPRETER_H
 
 #include "ir/Function.h"
+#include "obs/Remarks.h"
 
 #include <cstdint>
 #include <string>
@@ -26,6 +27,10 @@ struct InterpOptions {
   uint64_t MaxSteps = 2'000'000'000;
   /// Maximum call depth.
   unsigned MaxCallDepth = 256;
+  /// Record per-site execution counts of range checks into
+  /// ExecResult::CheckSites (for joining into the remark stream); off by
+  /// default because it adds a map update per executed check.
+  bool CountCheckSites = false;
 };
 
 /// Result of executing a module.
@@ -51,6 +56,10 @@ struct ExecResult {
 
   /// Values printed by Print instructions, in order.
   std::vector<std::string> Output;
+
+  /// Per-site dynamic check counts (only with CountCheckSites); sites the
+  /// run never reached are absent.
+  std::vector<obs::CheckSiteCount> CheckSites;
 
   /// Populated when St == Trapped or HardFault.
   std::string FaultMessage;

@@ -1,0 +1,134 @@
+#include "obs/StatRegistry.h"
+
+#include "obs/Json.h"
+#include "support/DenseBitVector.h"
+#include "support/StringUtils.h"
+
+using namespace nascent;
+using namespace nascent::obs;
+
+void Histogram::record(uint64_t V) {
+  ++Count;
+  Sum += V;
+  if (V < Min)
+    Min = V;
+  if (V > Max)
+    Max = V;
+  size_t Bucket = V == 0 ? 0 : 64 - static_cast<size_t>(__builtin_clzll(V));
+  ++Buckets[Bucket];
+}
+
+void Histogram::reset() {
+  Count = 0;
+  Sum = 0;
+  Min = ~uint64_t(0);
+  Max = 0;
+  for (uint64_t &B : Buckets)
+    B = 0;
+}
+
+StatRegistry &StatRegistry::global() {
+  static StatRegistry *R = [] {
+    auto *Reg = new StatRegistry();
+    // Built-in gauges over support-layer state. The support library sits
+    // below obs in the layering, so it exposes raw totals and the
+    // registry adopts them here.
+    Reg->gauge(
+        "support.bitvector.word_ops",
+        [] { return DenseBitVector::wordOps(); },
+        "word-parallel bit-vector operations (|=, &=, andNot, count, ==)");
+    return Reg;
+  }();
+  return *R;
+}
+
+Counter &StatRegistry::counter(const std::string &Name,
+                               const std::string &Desc) {
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(Name, std::make_unique<Counter>(Name, Desc)).first;
+  return *It->second;
+}
+
+Histogram &StatRegistry::histogram(const std::string &Name,
+                                   const std::string &Desc) {
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(Name, std::make_unique<Histogram>(Name, Desc))
+             .first;
+  return *It->second;
+}
+
+void StatRegistry::gauge(const std::string &Name,
+                         std::function<uint64_t()> Read,
+                         const std::string &Desc) {
+  Gauges[Name] = GaugeEntry{std::move(Read), Desc};
+}
+
+void StatRegistry::resetAll() {
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+void StatRegistry::print(std::ostream &OS) const {
+  for (const auto &[Name, C] : Counters) {
+    if (C->value() == 0)
+      continue;
+    OS << formatString("%12llu  %-40s %s\n",
+                       static_cast<unsigned long long>(C->value()),
+                       Name.c_str(), C->description().c_str());
+  }
+  for (const auto &[Name, G] : Gauges)
+    OS << formatString("%12llu  %-40s %s\n",
+                       static_cast<unsigned long long>(G.Read()),
+                       Name.c_str(), G.Desc.c_str());
+  for (const auto &[Name, H] : Histograms) {
+    if (H->count() == 0)
+      continue;
+    OS << formatString(
+        "%12llu  %-40s n=%llu min=%llu mean=%.1f max=%llu; %s\n",
+        static_cast<unsigned long long>(H->sum()), Name.c_str(),
+        static_cast<unsigned long long>(H->count()),
+        static_cast<unsigned long long>(H->min()), H->mean(),
+        static_cast<unsigned long long>(H->max()),
+        H->description().c_str());
+  }
+}
+
+void StatRegistry::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.key("counters").beginObject();
+  for (const auto &[Name, C] : Counters)
+    W.kv(Name, C->value());
+  W.endObject();
+  W.key("gauges").beginObject();
+  for (const auto &[Name, G] : Gauges)
+    W.kv(Name, G.Read());
+  W.endObject();
+  W.key("histograms").beginObject();
+  for (const auto &[Name, H] : Histograms) {
+    W.key(Name).beginObject();
+    W.kv("count", H->count());
+    W.kv("sum", H->sum());
+    W.kv("min", H->min());
+    W.kv("max", H->max());
+    W.kv("mean", H->mean());
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+}
+
+std::string StatRegistry::toJson() const {
+  JsonWriter W;
+  writeJson(W);
+  return W.take();
+}
+
+void StatRegistry::forEachCounter(
+    const std::function<void(const Counter &)> &Fn) const {
+  for (const auto &[Name, C] : Counters)
+    Fn(*C);
+}

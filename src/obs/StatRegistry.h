@@ -1,0 +1,155 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named counters, gauges, and histograms for
+/// the compiler's internal metrics (CIG nodes/edges, family counts,
+/// dataflow iterations-to-fixpoint, kill-set sizes, bit-vector ops,
+/// per-scheme insert/delete tallies). Stats register themselves once via
+/// the NASCENT_STAT macros and increment through a plain uint64_t, so the
+/// always-on cost of a disabled snapshot is one add per event — the
+/// <2%-overhead budget of docs/telemetry.md.
+///
+/// The compiler is single-threaded; counters are deliberately not atomic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_OBS_STATREGISTRY_H
+#define NASCENT_OBS_STATREGISTRY_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+namespace nascent {
+namespace obs {
+
+class JsonWriter;
+
+/// A monotonically increasing event count.
+class Counter {
+public:
+  Counter(std::string Name, std::string Desc)
+      : Name(std::move(Name)), Desc(std::move(Desc)) {}
+
+  void inc() { ++V; }
+  void add(uint64_t N) { V += N; }
+  Counter &operator++() {
+    ++V;
+    return *this;
+  }
+  Counter &operator+=(uint64_t N) {
+    V += N;
+    return *this;
+  }
+
+  uint64_t value() const { return V; }
+  void reset() { V = 0; }
+
+  const std::string &name() const { return Name; }
+  const std::string &description() const { return Desc; }
+
+private:
+  std::string Name;
+  std::string Desc;
+  uint64_t V = 0;
+};
+
+/// A sampled distribution: count/sum/min/max plus power-of-two buckets
+/// (bucket K counts samples with floor(log2(v)) == K-1; bucket 0 counts
+/// zeros). Used for per-solve iteration counts and universe sizes.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 65;
+
+  Histogram(std::string Name, std::string Desc)
+      : Name(std::move(Name)), Desc(std::move(Desc)) {}
+
+  void record(uint64_t V);
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return Count ? Min : 0; }
+  uint64_t max() const { return Max; }
+  double mean() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0;
+  }
+  uint64_t bucket(size_t K) const { return Buckets[K]; }
+  void reset();
+
+  const std::string &name() const { return Name; }
+  const std::string &description() const { return Desc; }
+
+private:
+  std::string Name;
+  std::string Desc;
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = ~uint64_t(0);
+  uint64_t Max = 0;
+  uint64_t Buckets[NumBuckets] = {};
+};
+
+/// The process-wide registry. Lookup by name interns the stat; references
+/// returned remain valid for the process lifetime, which is what lets the
+/// NASCENT_STAT macros bind a namespace-scope reference once.
+class StatRegistry {
+public:
+  /// The global registry (created on first use; registers the built-in
+  /// gauges of the support layer, e.g. the bit-vector op count).
+  static StatRegistry &global();
+
+  Counter &counter(const std::string &Name, const std::string &Desc = "");
+  Histogram &histogram(const std::string &Name, const std::string &Desc = "");
+
+  /// Registers a gauge: a value read via callback at snapshot time.
+  /// Re-registering a name replaces the callback.
+  void gauge(const std::string &Name, std::function<uint64_t()> Read,
+             const std::string &Desc = "");
+
+  /// Zeroes every counter and histogram (gauges read external state and
+  /// are left alone). Benchmarks and tests use this to measure deltas.
+  void resetAll();
+
+  /// Renders every stat as "  <value>  <name>  (<desc>)" lines, sorted by
+  /// name, skipping zero-valued counters (LLVM -stats style).
+  void print(std::ostream &OS) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void writeJson(JsonWriter &W) const;
+  std::string toJson() const;
+
+  void forEachCounter(
+      const std::function<void(const Counter &)> &Fn) const;
+
+private:
+  StatRegistry() = default;
+
+  struct GaugeEntry {
+    std::function<uint64_t()> Read;
+    std::string Desc;
+  };
+
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  std::map<std::string, GaugeEntry> Gauges;
+};
+
+} // namespace obs
+} // namespace nascent
+
+/// Declares a namespace-scope counter reference bound to the global
+/// registry. Use in .cpp files:
+///   NASCENT_STAT(NumSolves, "dataflow.solves", "data-flow problems solved");
+///   ... ++NumSolves;
+#define NASCENT_STAT(Var, Name, Desc)                                         \
+  static ::nascent::obs::Counter &Var =                                       \
+      ::nascent::obs::StatRegistry::global().counter(Name, Desc)
+
+#define NASCENT_STAT_HISTOGRAM(Var, Name, Desc)                               \
+  static ::nascent::obs::Histogram &Var =                                     \
+      ::nascent::obs::StatRegistry::global().histogram(Name, Desc)
+
+#endif // NASCENT_OBS_STATREGISTRY_H

@@ -1,0 +1,114 @@
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+
+#include <ctime>
+#include <fstream>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+using namespace nascent;
+using namespace nascent::obs;
+
+double obs::processCpuSeconds() {
+#if defined(__linux__) || defined(__APPLE__)
+  struct timespec TS;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &TS) == 0)
+    return static_cast<double>(TS.tv_sec) +
+           static_cast<double>(TS.tv_nsec) * 1e-9;
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+std::string TraceCollector::toJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents").beginArray();
+  for (const TraceEvent &E : Events) {
+    W.beginObject();
+    W.kv("name", E.Name);
+    W.kv("cat", "phase");
+    W.kv("ph", "X");
+    W.kv("ts", E.StartUs);
+    W.kv("dur", E.DurUs);
+    W.kv("pid", 1);
+    W.kv("tid", 1);
+    W.endObject();
+  }
+  W.endArray();
+  W.kv("displayTimeUnit", "ms");
+  W.endObject();
+  return W.take();
+}
+
+bool TraceCollector::writeFile(const std::string &Path,
+                               std::string *Err) const {
+  std::ofstream OS(Path, std::ios::binary);
+  if (!OS) {
+    if (Err)
+      *Err = "cannot open trace output file '" + Path + "'";
+    return false;
+  }
+  OS << toJson() << "\n";
+  if (!OS) {
+    if (Err)
+      *Err = "error writing trace output file '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+TraceScope::TraceScope(TraceCollector *C, std::string Name)
+    : C(C && C->enabled() ? C : nullptr) {
+  if (!this->C)
+    return;
+  this->Name = std::move(Name);
+  StartUs = this->C->nowUs();
+  MyDepth = this->C->Depth++;
+}
+
+TraceScope::~TraceScope() {
+  if (!C)
+    return;
+  uint64_t EndUs = C->nowUs();
+  C->Depth = MyDepth;
+  C->Events.push_back(
+      TraceEvent{std::move(Name), StartUs, EndUs - StartUs, MyDepth});
+}
+
+const PhaseTiming *PhaseTimings::find(const std::string &Name) const {
+  for (const PhaseTiming &P : Phases)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+double PhaseTimings::wallOf(const std::string &Name) const {
+  const PhaseTiming *P = find(Name);
+  return P ? P->WallSeconds : 0;
+}
+
+double PhaseTimings::cpuOf(const std::string &Name) const {
+  const PhaseTiming *P = find(Name);
+  return P ? P->CpuSeconds : 0;
+}
+
+ScopedPhase::ScopedPhase(PhaseTimings &PT, std::string Name,
+                         std::chrono::steady_clock::time_point PipelineT0,
+                         TraceCollector *TC)
+    : PT(PT), Name(std::move(Name)), PipelineT0(PipelineT0),
+      WallT0(std::chrono::steady_clock::now()), CpuT0(processCpuSeconds()),
+      Trace(TC, this->Name) {}
+
+ScopedPhase::~ScopedPhase() {
+  auto WallT1 = std::chrono::steady_clock::now();
+  double CpuT1 = processCpuSeconds();
+  PhaseTiming P;
+  P.Name = std::move(Name);
+  P.WallStart = std::chrono::duration<double>(WallT0 - PipelineT0).count();
+  P.WallSeconds = std::chrono::duration<double>(WallT1 - WallT0).count();
+  P.CpuSeconds = CpuT1 - CpuT0;
+  PT.Phases.push_back(std::move(P));
+}

@@ -1,0 +1,133 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hierarchical phase tracing for the pipeline and the optimizer:
+///
+///  - TraceCollector / TraceScope: RAII timers recording named spans
+///    (parse, lower, INX synthesis, CIG build, avail/antic solve,
+///    placement, elimination, audit, ...) that serialise to Chrome
+///    `trace_event` JSON loadable in Perfetto / chrome://tracing.
+///  - PhaseTimings: the flat per-phase breakdown carried on CompileResult,
+///    measuring every phase on BOTH clocks (wall via steady_clock, CPU via
+///    CLOCK_PROCESS_CPUTIME_ID) — the former OptimizeSeconds/TotalSeconds
+///    pair mixed the two and is now derived from this table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_OBS_TRACE_H
+#define NASCENT_OBS_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nascent {
+namespace obs {
+
+/// Current process CPU time in seconds.
+double processCpuSeconds();
+
+/// One completed trace span.
+struct TraceEvent {
+  std::string Name;
+  uint64_t StartUs = 0; ///< microseconds since the collector's epoch
+  uint64_t DurUs = 0;
+  unsigned Depth = 0; ///< nesting depth at the time the scope opened
+};
+
+/// Collects trace spans. Disabled collectors cost one branch per scope.
+/// Events are appended when a scope closes, so children precede parents;
+/// Perfetto reconstructs the hierarchy from span containment.
+class TraceCollector {
+public:
+  TraceCollector() : Epoch(std::chrono::steady_clock::now()) {}
+
+  void enable() { Enabled = true; }
+  bool enabled() const { return Enabled; }
+
+  uint64_t nowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// Chrome trace_event JSON ("traceEvents" array of complete "X" spans).
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path; false (with \p Err filled) on I/O error.
+  bool writeFile(const std::string &Path, std::string *Err = nullptr) const;
+
+private:
+  friend class TraceScope;
+
+  bool Enabled = false;
+  std::chrono::steady_clock::time_point Epoch;
+  std::vector<TraceEvent> Events;
+  unsigned Depth = 0;
+};
+
+/// RAII span. A null or disabled collector makes the scope a no-op.
+class TraceScope {
+public:
+  TraceScope(TraceCollector *C, std::string Name);
+  ~TraceScope();
+
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+private:
+  TraceCollector *C = nullptr;
+  std::string Name;
+  uint64_t StartUs = 0;
+  unsigned MyDepth = 0;
+};
+
+/// One pipeline phase measured on both clocks. WallStart orders phases
+/// and lets tests assert monotonicity.
+struct PhaseTiming {
+  std::string Name;
+  double WallStart = 0;   ///< seconds from pipeline begin to phase begin
+  double WallSeconds = 0; ///< wall-clock duration
+  double CpuSeconds = 0;  ///< process CPU duration
+};
+
+/// The per-compile phase breakdown (CompileResult::Phases).
+struct PhaseTimings {
+  std::vector<PhaseTiming> Phases;
+
+  const PhaseTiming *find(const std::string &Name) const;
+  /// Duration of the named phase; 0 when the phase never ran.
+  double wallOf(const std::string &Name) const;
+  double cpuOf(const std::string &Name) const;
+};
+
+/// RAII recorder appending one PhaseTiming on destruction, and (when a
+/// collector is given) mirroring the phase as a trace span. \p PipelineT0
+/// anchors WallStart so all phases of one compile share an origin.
+class ScopedPhase {
+public:
+  ScopedPhase(PhaseTimings &PT, std::string Name,
+              std::chrono::steady_clock::time_point PipelineT0,
+              TraceCollector *Trace = nullptr);
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase &) = delete;
+  ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+private:
+  PhaseTimings &PT;
+  std::string Name;
+  std::chrono::steady_clock::time_point PipelineT0;
+  std::chrono::steady_clock::time_point WallT0;
+  double CpuT0;
+  TraceScope Trace;
+};
+
+} // namespace obs
+} // namespace nascent
+
+#endif // NASCENT_OBS_TRACE_H

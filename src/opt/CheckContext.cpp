@@ -1,13 +1,34 @@
 #include "opt/CheckContext.h"
 
+#include "obs/StatRegistry.h"
+
 using namespace nascent;
 
+NASCENT_STAT(NumContexts, "opt.context.builds",
+             "check-analysis contexts built");
+NASCENT_STAT_HISTOGRAM(UniverseSizes, "opt.context.universe_size",
+                       "check-universe size per context");
+NASCENT_STAT_HISTOGRAM(FamilyCounts, "opt.context.families",
+                       "check families per context");
+NASCENT_STAT_HISTOGRAM(KillSetSizes, "opt.context.kill_set_size",
+                       "per-block kill-set population");
+NASCENT_STAT(NumCigEdges, "checks.cig.edges",
+             "implication edges in built CIGs");
+
 CheckContext::CheckContext(const Function &F, ImplicationMode Mode,
-                           const std::vector<PreheaderFact> &Facts)
-    : F(F), Mode(Mode),
+                           const std::vector<PreheaderFact> &Facts,
+                           obs::TraceCollector *Trace)
+    : F(F), Mode(Mode), Trace(Trace),
       U(/*FamilyPerCheck=*/Mode == ImplicationMode::None), CIG(U, Mode) {
+  obs::TraceScope Scope(Trace, "cig-build");
   buildUniverse(Facts);
   buildBlockSets();
+  ++NumContexts;
+  UniverseSizes.record(U.size());
+  FamilyCounts.record(U.numFamilies());
+  NumCigEdges += CIG.numEdges();
+  for (const DenseBitVector &K : Kill)
+    KillSetSizes.record(K.count());
 }
 
 void CheckContext::buildUniverse(const std::vector<PreheaderFact> &Facts) {
@@ -135,6 +156,7 @@ void CheckContext::buildBlockSets() {
 }
 
 DataflowResult CheckContext::solveAvailability() const {
+  obs::TraceScope Scope(Trace, "solve-avail");
   DataflowProblem P;
   P.Dir = DataflowProblem::Direction::Forward;
   P.MeetOp = DataflowProblem::Meet::Intersect;
@@ -145,6 +167,7 @@ DataflowResult CheckContext::solveAvailability() const {
 }
 
 DataflowResult CheckContext::solveAnticipatability() const {
+  obs::TraceScope Scope(Trace, "solve-antic");
   DataflowProblem P;
   P.Dir = DataflowProblem::Direction::Backward;
   P.MeetOp = DataflowProblem::Meet::Intersect;

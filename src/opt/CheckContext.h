@@ -20,6 +20,7 @@
 #include "checks/CheckImplicationGraph.h"
 #include "checks/CheckUniverse.h"
 #include "ir/Function.h"
+#include "obs/Trace.h"
 
 #include <vector>
 
@@ -37,8 +38,12 @@ struct PreheaderFact {
 /// elimination stages.
 class CheckContext {
 public:
+  /// Builds the universe, CIG, and block transfer sets for the current IR
+  /// of \p F. When \p Trace is given (and enabled) the dataflow solves
+  /// record spans into it.
   CheckContext(const Function &F, ImplicationMode Mode,
-               const std::vector<PreheaderFact> &Facts = {});
+               const std::vector<PreheaderFact> &Facts = {},
+               obs::TraceCollector *Trace = nullptr);
 
   const Function &function() const { return F; }
   const CheckUniverse &universe() const { return U; }
@@ -108,6 +113,7 @@ private:
 
   const Function &F;
   ImplicationMode Mode;
+  obs::TraceCollector *Trace = nullptr;
   CheckUniverse U;
   CheckImplicationGraph CIG;
 

@@ -1,9 +1,15 @@
 #include "opt/CheckStrengthening.h"
 
+#include "obs/StatRegistry.h"
+
 using namespace nascent;
 
+NASCENT_STAT(NumStrengthened, "opt.cs.strengthened",
+             "checks replaced by a stronger family member");
+
 StrengtheningStats
-nascent::runCheckStrengthening(Function &F, const CheckContext &Ctx) {
+nascent::runCheckStrengthening(Function &F, const CheckContext &Ctx,
+                               obs::RemarkCollector *Remarks) {
   StrengtheningStats Stats;
   const CheckUniverse &U = Ctx.universe();
   if (U.size() == 0)
@@ -43,8 +49,17 @@ nascent::runCheckStrengthening(Function &F, const CheckContext &Ctx) {
         if (U.check(M).bound() >= U.check(C).bound())
           break;
         if (Before[Idx].test(M)) {
+          int64_t OldBound = I.Check.bound();
           I.Check = U.check(M);
           ++Stats.ChecksStrengthened;
+          ++NumStrengthened;
+          if (Remarks && Remarks->enabled())
+            Remarks->emit(obs::makeCheckRemark(
+                obs::RemarkKind::Strengthened, "CheckStrengthening", F, *BB,
+                I.Check, I.Origin,
+                "bound tightened from " + std::to_string(OldBound) + " to " +
+                    std::to_string(I.Check.bound()) +
+                    "; the stronger family member is anticipated here"));
           break;
         }
       }

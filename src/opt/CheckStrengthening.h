@@ -12,6 +12,7 @@
 #ifndef NASCENT_OPT_CHECKSTRENGTHENING_H
 #define NASCENT_OPT_CHECKSTRENGTHENING_H
 
+#include "obs/Remarks.h"
 #include "opt/CheckContext.h"
 
 namespace nascent {
@@ -22,9 +23,11 @@ struct StrengtheningStats {
 };
 
 /// Replaces checks in \p F by their strongest anticipatable same-family
-/// member, in place.
+/// member, in place. One Strengthened remark per replacement goes to
+/// \p Remarks when given.
 StrengtheningStats runCheckStrengthening(Function &F,
-                                         const CheckContext &Ctx);
+                                         const CheckContext &Ctx,
+                                         obs::RemarkCollector *Remarks = nullptr);
 
 } // namespace nascent
 

@@ -1,9 +1,36 @@
 #include "opt/Elimination.h"
 
+#include "obs/StatRegistry.h"
+
 using namespace nascent;
 
+NASCENT_STAT(NumAvailDeleted, "opt.elim.deleted",
+             "checks deleted as redundant by availability");
+NASCENT_STAT(NumConstDeleted, "opt.fold.deleted",
+             "compile-time-constant checks deleted");
+NASCENT_STAT(NumConstTraps, "opt.fold.traps",
+             "compile-time-constant checks turned into traps");
+
+namespace {
+
+/// Names the fact that made an available check deletable, for the remark
+/// stream: the three possible sources are block-entry availability, a
+/// preheader entry fact, and an earlier check in the same block.
+std::string availJustification(const CheckContext &Ctx,
+                               const DataflowResult &Avail, BlockID B,
+                               CheckID C) {
+  if (Avail.In[B].test(C))
+    return "an as-strong check is available on every path into the block";
+  if (Ctx.genInBits(B).test(C))
+    return "implied by a conditional check hoisted to the loop preheader";
+  return "covered by an as-strong check earlier in the block";
+}
+
+} // namespace
+
 EliminationStats
-nascent::eliminateRedundantChecks(Function &F, const CheckContext &Ctx) {
+nascent::eliminateRedundantChecks(Function &F, const CheckContext &Ctx,
+                                  obs::RemarkCollector *Remarks) {
   EliminationStats Stats;
   if (Ctx.universe().size() == 0)
     return Stats;
@@ -24,6 +51,10 @@ nascent::eliminateRedundantChecks(Function &F, const CheckContext &Ctx) {
         CheckID C = Ctx.idOf(B, Idx);
         if (C != InvalidCheck && Cur.test(C)) {
           ToDelete.push_back(Idx);
+          if (Remarks && Remarks->enabled())
+            Remarks->emit(obs::makeCheckRemark(
+                obs::RemarkKind::Eliminated, "Elimination", F, *BB, I.Check,
+                I.Origin, availJustification(Ctx, Avail, B, C)));
           continue; // a deleted check generates nothing
         }
       }
@@ -33,14 +64,23 @@ nascent::eliminateRedundantChecks(Function &F, const CheckContext &Ctx) {
       BB->instructions().erase(BB->instructions().begin() +
                                static_cast<ptrdiff_t>(*It));
       ++Stats.ChecksDeleted;
+      ++NumAvailDeleted;
     }
   }
   return Stats;
 }
 
 EliminationStats
-nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags) {
+nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags,
+                               obs::RemarkCollector *Remarks) {
   EliminationStats Stats;
+  auto Emit = [&](obs::RemarkKind Kind, const BasicBlock &BB,
+                  const Instruction &I, std::string Justification) {
+    if (Remarks && Remarks->enabled())
+      Remarks->emit(obs::makeCheckRemark(Kind, "Elimination", F, BB, I.Check,
+                                         I.Origin, std::move(Justification)));
+  };
+
   for (auto &BB : F) {
     auto &Insts = BB->instructions();
     for (size_t Idx = 0; Idx < Insts.size();) {
@@ -51,8 +91,11 @@ nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags) {
           continue;
         }
         if (I.Check.evaluatesToTrue()) {
+          Emit(obs::RemarkKind::CompileTimeDeleted, *BB, I,
+               "constant check always passes");
           Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
           ++Stats.CompileTimeDeleted;
+          ++NumConstDeleted;
           continue;
         }
         // Always fails: report and replace with a TRAP terminator; the
@@ -62,12 +105,15 @@ nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags) {
                           (I.Origin.ArrayName.empty()
                                ? std::string()
                                : " (array " + I.Origin.ArrayName + ")"));
+        Emit(obs::RemarkKind::CompileTimeTrap, *BB, I,
+             "constant check always fails; replaced by a trap");
         Instruction Trap;
         Trap.Op = Opcode::Trap;
         Trap.Origin = I.Origin;
         Insts.resize(Idx);
         Insts.push_back(std::move(Trap));
         ++Stats.CompileTimeTraps;
+        ++NumConstTraps;
         break; // block is now terminated
       }
       if (I.Op == Opcode::CondCheck) {
@@ -87,13 +133,20 @@ nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags) {
           }
         }
         if (GuardFalse) {
+          Emit(obs::RemarkKind::CompileTimeDeleted, *BB, I,
+               "conditional check guarded by a constant-false guard can "
+               "never fire");
           Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
           ++Stats.CompileTimeDeleted;
+          ++NumConstDeleted;
           continue;
         }
         if (I.Check.isCompileTimeConstant() && I.Check.evaluatesToTrue()) {
+          Emit(obs::RemarkKind::CompileTimeDeleted, *BB, I,
+               "constant conditional check always passes");
           Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
           ++Stats.CompileTimeDeleted;
+          ++NumConstDeleted;
           continue;
         }
         if (I.Guards.empty()) {
@@ -104,12 +157,16 @@ nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags) {
                               (I.Origin.ArrayName.empty()
                                    ? std::string()
                                    : " (array " + I.Origin.ArrayName + ")"));
+            Emit(obs::RemarkKind::CompileTimeTrap, *BB, I,
+                 "conditional check with all guards folded always fails; "
+                 "replaced by a trap");
             Instruction Trap;
             Trap.Op = Opcode::Trap;
             Trap.Origin = I.Origin;
             Insts.resize(Idx);
             Insts.push_back(std::move(Trap));
             ++Stats.CompileTimeTraps;
+            ++NumConstTraps;
             break;
           }
           // All guards folded away: demote to a plain check.

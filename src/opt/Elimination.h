@@ -11,6 +11,7 @@
 #ifndef NASCENT_OPT_ELIMINATION_H
 #define NASCENT_OPT_ELIMINATION_H
 
+#include "obs/Remarks.h"
 #include "opt/CheckContext.h"
 #include "support/Diagnostics.h"
 
@@ -26,14 +27,18 @@ struct EliminationStats {
 
 /// Deletes every plain check that some as-strong-as check makes available
 /// at its program point. \p Ctx must describe the current IR (including
-/// any facts from preheader insertion).
+/// any facts from preheader insertion). One Eliminated remark per deleted
+/// check goes to \p Remarks when given.
 EliminationStats eliminateRedundantChecks(Function &F,
-                                          const CheckContext &Ctx);
+                                          const CheckContext &Ctx,
+                                          obs::RemarkCollector *Remarks = nullptr);
 
 /// Folds compile-time-constant checks and guards. Always-failing plain
 /// checks become TRAP terminators (truncating the rest of the block) and
-/// are reported into \p Diags as warnings.
-EliminationStats foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags);
+/// are reported into \p Diags as warnings. Deletions and traps emit
+/// remarks into \p Remarks when given.
+EliminationStats foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags,
+                                       obs::RemarkCollector *Remarks = nullptr);
 
 } // namespace nascent
 

@@ -3,10 +3,16 @@
 #include "analysis/CFGUtils.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
+#include "obs/StatRegistry.h"
 
 #include <vector>
 
 using namespace nascent;
+
+NASCENT_STAT(NumIntervalDeleted, "opt.interval.deleted",
+             "checks proved redundant by value-range analysis");
+NASCENT_STAT(NumIntervalTraps, "opt.interval.traps",
+             "checks proved violating by value-range analysis");
 
 int64_t Interval::satAdd(int64_t A, int64_t B) {
   if (A == NegInf || B == NegInf)
@@ -306,7 +312,8 @@ nascent::classifyChecksByIntervals(const Function &F) {
 }
 
 IntervalStats nascent::eliminateChecksByIntervals(Function &F,
-                                                  DiagnosticEngine &Diags) {
+                                                  DiagnosticEngine &Diags,
+                                                  obs::RemarkCollector *Remarks) {
   IntervalStats Stats;
   F.recomputePreds();
   IntervalCheckClassification C = classifyChecksByIntervals(F);
@@ -318,10 +325,20 @@ IntervalStats nascent::eliminateChecksByIntervals(Function &F,
     size_t Cur = 0;
     for (size_t OIdx = 0; OIdx != NumOrig; ++OIdx) {
       switch (C.at(B, OIdx)) {
-      case IntervalVerdict::AlwaysPasses:
+      case IntervalVerdict::AlwaysPasses: {
+        if (Remarks && Remarks->enabled()) {
+          const Instruction &I = Insts[Cur];
+          Remarks->emit(obs::makeCheckRemark(
+              obs::RemarkKind::IntervalEliminated, "IntervalAnalysis", F,
+              *BB, I.Check, I.Origin,
+              "value ranges prove the check passes on every execution "
+              "reaching it"));
+        }
         Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Cur));
         ++Stats.ChecksProvedRedundant;
+        ++NumIntervalDeleted;
         continue;
+      }
       case IntervalVerdict::AlwaysFails: {
         const Instruction &I = Insts[Cur];
         Diags.warning(I.Origin.Loc,
@@ -330,12 +347,19 @@ IntervalStats nascent::eliminateChecksByIntervals(Function &F,
                           (I.Origin.ArrayName.empty()
                                ? std::string()
                                : " (array " + I.Origin.ArrayName + ")"));
+        if (Remarks && Remarks->enabled())
+          Remarks->emit(obs::makeCheckRemark(
+              obs::RemarkKind::CompileTimeTrap, "IntervalAnalysis", F, *BB,
+              I.Check, I.Origin,
+              "value ranges prove the check fails on every execution "
+              "reaching it; replaced by a trap"));
         Instruction Trap;
         Trap.Op = Opcode::Trap;
         Trap.Origin = I.Origin;
         Insts.resize(Cur);
         Insts.push_back(std::move(Trap));
         ++Stats.ChecksProvedViolating;
+        ++NumIntervalTraps;
         break;
       }
       case IntervalVerdict::Unknown:

@@ -16,6 +16,7 @@
 #define NASCENT_OPT_INTERVALANALYSIS_H
 
 #include "ir/Function.h"
+#include "obs/Remarks.h"
 #include "support/Diagnostics.h"
 
 #include <cstdint>
@@ -100,8 +101,11 @@ IntervalCheckClassification classifyChecksByIntervals(const Function &F);
 /// value ranges prove redundant; checks proved to always fail become
 /// TRAP terminators and are reported into \p Diags. The analysis uses
 /// do-loop metadata to bound index variables inside their loops.
+/// IntervalEliminated / CompileTimeTrap remarks go to \p Remarks when
+/// given.
 IntervalStats eliminateChecksByIntervals(Function &F,
-                                         DiagnosticEngine &Diags);
+                                         DiagnosticEngine &Diags,
+                                         obs::RemarkCollector *Remarks = nullptr);
 
 } // namespace nascent
 

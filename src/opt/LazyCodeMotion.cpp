@@ -1,10 +1,14 @@
 #include "opt/LazyCodeMotion.h"
 
 #include "analysis/CFGUtils.h"
+#include "obs/StatRegistry.h"
 
 #include <map>
 
 using namespace nascent;
+
+NASCENT_STAT(NumLcmInserted, "opt.lcm.inserted",
+             "checks inserted by lazy-code-motion placement");
 
 namespace {
 
@@ -26,7 +30,8 @@ InsertPoint pointForEdge(const Function &F, BlockID From, BlockID To) {
 } // namespace
 
 LCMStats nascent::runLazyCodeMotion(Function &F, const CheckContext &Ctx,
-                                    LCMPlacement Placement) {
+                                    LCMPlacement Placement,
+                                    obs::RemarkCollector *Remarks) {
   LCMStats Stats;
   const CheckUniverse &U = Ctx.universe();
   size_t N = U.size();
@@ -178,18 +183,34 @@ LCMStats nascent::runLazyCodeMotion(Function &F, const CheckContext &Ctx,
     I.Origin = Ctx.representativeOrigin(Id);
     return I;
   };
+  const char *PlacementName = Placement == LCMPlacement::SafeEarliest
+                                  ? "safe-earliest"
+                                  : "latest-not-isolated";
+  auto Note = [&](BlockID B, CheckID Id, const char *Where) {
+    if (Remarks && Remarks->enabled())
+      Remarks->emit(obs::makeCheckRemark(
+          obs::RemarkKind::LcmInserted, "LazyCodeMotion", F, *F.block(B),
+          U.check(Id), Ctx.representativeOrigin(Id),
+          std::string("strongest family member placed at the ") +
+              PlacementName + " point (" + Where +
+              "); later occurrences become redundant"));
+  };
 
   for (auto &[B, Ids] : AtStart) {
     size_t Pos = 0;
     for (CheckID Id : Ids) {
       F.block(B)->insertAt(Pos++, MakeCheck(Id));
       ++Stats.ChecksInserted;
+      ++NumLcmInserted;
+      Note(B, Id, "block start");
     }
   }
   for (auto &[B, Ids] : BeforeTerm) {
     for (CheckID Id : Ids) {
       F.block(B)->insertBeforeTerminator(MakeCheck(Id));
       ++Stats.ChecksInserted;
+      ++NumLcmInserted;
+      Note(B, Id, "before terminator");
     }
   }
   return Stats;

@@ -16,6 +16,7 @@
 #ifndef NASCENT_OPT_LAZYCODEMOTION_H
 #define NASCENT_OPT_LAZYCODEMOTION_H
 
+#include "obs/Remarks.h"
 #include "opt/CheckContext.h"
 
 namespace nascent {
@@ -38,9 +39,11 @@ struct LCMStats {
 ///
 /// At each insertion point only the strongest check per family is
 /// materialised; weaker family members earliest at the same point would be
-/// immediately redundant.
+/// immediately redundant. One LcmInserted remark per materialised check
+/// goes to \p Remarks when given.
 LCMStats runLazyCodeMotion(Function &F, const CheckContext &Ctx,
-                           LCMPlacement Placement);
+                           LCMPlacement Placement,
+                           obs::RemarkCollector *Remarks = nullptr);
 
 } // namespace nascent
 

@@ -2,12 +2,20 @@
 
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
+#include "obs/StatRegistry.h"
 
 #include <map>
 #include <set>
 #include <unordered_map>
 
 using namespace nascent;
+
+NASCENT_STAT(NumCondInserted, "opt.preheader.cond_inserted",
+             "conditional checks hoisted into loop preheaders");
+NASCENT_STAT(NumRehoisted, "opt.preheader.rehoisted",
+             "conditional checks re-hoisted to an outer preheader");
+NASCENT_STAT(NumSubstituted, "opt.preheader.substituted",
+             "hoisted checks using loop-limit substitution");
 
 namespace {
 
@@ -102,7 +110,8 @@ LinearExpr substituteExtreme(const LinearExpr &Expr, SymbolID Var,
 PreheaderStats
 nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
                                const PreheaderOptions &Opts,
-                               std::vector<PreheaderFact> &FactsOut) {
+                               std::vector<PreheaderFact> &FactsOut,
+                               obs::RemarkCollector *Remarks) {
   PreheaderStats Stats;
   const CheckUniverse &U = Ctx.universe();
   if (U.size() == 0)
@@ -289,8 +298,20 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
         I.Origin = P.Origin;
         PH->insertBeforeTerminator(std::move(I));
         ++Stats.CondChecksInserted;
-        if (G.Substituted)
+        ++NumCondInserted;
+        if (G.Substituted) {
           ++Stats.Substituted;
+          ++NumSubstituted;
+        }
+        if (Remarks && Remarks->enabled())
+          Remarks->emit(obs::makeCheckRemark(
+              obs::RemarkKind::CondInserted, "PreheaderInsertion", F, *PH,
+              P.Check, P.Origin,
+              G.Substituted
+                  ? "linear check hoisted via loop-limit substitution, "
+                    "guarded by loop entry"
+                  : "loop-invariant check hoisted to the preheader, "
+                    "guarded by loop entry"));
       }
       for (const CheckExpr &Fact : G.Facts)
         FactsOut.push_back({DL.BodyEntry, Fact});
@@ -389,8 +410,20 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
           PH->insertBeforeTerminator(std::move(NI));
         }
         ++Stats.Rehoisted;
-        if (DidSubstitute)
+        ++NumRehoisted;
+        if (DidSubstitute) {
           ++Stats.Substituted;
+          ++NumSubstituted;
+        }
+        if (Remarks && Remarks->enabled())
+          Remarks->emit(obs::makeCheckRemark(
+              obs::RemarkKind::Rehoisted, "PreheaderInsertion", F, *PH,
+              P.Check, P.Origin,
+              DidSubstitute
+                  ? "conditional check re-hoisted from an inner preheader "
+                    "with loop-limit re-substitution"
+                  : "conditional check re-hoisted from an inner preheader "
+                    "(guards and check invariant in the outer loop)"));
         // Note: facts recorded when the check was first inserted remain
         // valid -- the moved check still executes before the inner loop's
         // body on every path, with at-least-as-often guards.

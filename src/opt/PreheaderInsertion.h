@@ -27,6 +27,7 @@
 #ifndef NASCENT_OPT_PREHEADERINSERTION_H
 #define NASCENT_OPT_PREHEADERINSERTION_H
 
+#include "obs/Remarks.h"
 #include "opt/CheckContext.h"
 
 namespace nascent {
@@ -54,10 +55,12 @@ struct PreheaderOptions {
 
 /// Runs LI/LLS (or the restricted Markstein variant) over every do loop
 /// of \p F. Facts for the later elimination stage are appended to
-/// \p FactsOut.
+/// \p FactsOut. CondInserted / Rehoisted remarks go to \p Remarks when
+/// given.
 PreheaderStats runPreheaderInsertion(Function &F, const CheckContext &Ctx,
                                      const PreheaderOptions &Opts,
-                                     std::vector<PreheaderFact> &FactsOut);
+                                     std::vector<PreheaderFact> &FactsOut,
+                                     obs::RemarkCollector *Remarks = nullptr);
 
 } // namespace nascent
 

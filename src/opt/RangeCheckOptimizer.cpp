@@ -1,5 +1,7 @@
 #include "opt/RangeCheckOptimizer.h"
 
+#include "obs/Json.h"
+#include "obs/StatRegistry.h"
 #include "opt/CheckContext.h"
 #include "opt/CheckStrengthening.h"
 #include "opt/Elimination.h"
@@ -10,6 +12,9 @@
 #include <cctype>
 
 using namespace nascent;
+
+NASCENT_STAT(NumFunctionsOptimized, "opt.functions",
+             "functions run through the range-check optimizer");
 
 bool nascent::parsePlacementScheme(const std::string &Name,
                                    PlacementScheme &Out) {
@@ -67,20 +72,38 @@ const char *nascent::placementSchemeName(PlacementScheme S) {
   return "?";
 }
 
+// Pin the struct layout to the X-macro: a new field changes the size and
+// fails this assert until NASCENT_OPTIMIZER_STATS_FIELDS is extended.
+static_assert(sizeof(OptimizerStats) ==
+                  10 * sizeof(unsigned) + 2 * sizeof(size_t),
+              "OptimizerStats and NASCENT_OPTIMIZER_STATS_FIELDS are out of "
+              "sync: extend the field list when adding a field");
+
 OptimizerStats &OptimizerStats::operator+=(const OptimizerStats &R) {
-  ChecksBefore += R.ChecksBefore;
-  ChecksAfter += R.ChecksAfter;
-  ChecksDeleted += R.ChecksDeleted;
-  ChecksInserted += R.ChecksInserted;
-  CondChecksInserted += R.CondChecksInserted;
-  ChecksStrengthened += R.ChecksStrengthened;
-  Rehoisted += R.Rehoisted;
-  CompileTimeDeleted += R.CompileTimeDeleted;
-  CompileTimeTraps += R.CompileTimeTraps;
-  IntervalDeleted += R.IntervalDeleted;
-  UniverseSize += R.UniverseSize;
-  NumFamilies += R.NumFamilies;
+#define NASCENT_X(F) F += R.F;
+  NASCENT_OPTIMIZER_STATS_FIELDS(NASCENT_X)
+#undef NASCENT_X
   return *this;
+}
+
+void OptimizerStats::print(std::ostream &OS) const {
+#define NASCENT_X(F) OS << #F << ": " << F << "\n";
+  NASCENT_OPTIMIZER_STATS_FIELDS(NASCENT_X)
+#undef NASCENT_X
+}
+
+void OptimizerStats::writeJson(obs::JsonWriter &W) const {
+  W.beginObject();
+#define NASCENT_X(F) W.kv(#F, static_cast<uint64_t>(F));
+  NASCENT_OPTIMIZER_STATS_FIELDS(NASCENT_X)
+#undef NASCENT_X
+  W.endObject();
+}
+
+std::string OptimizerStats::toJson() const {
+  obs::JsonWriter W;
+  writeJson(W);
+  return W.take();
 }
 
 namespace {
@@ -101,6 +124,15 @@ OptimizerStats nascent::optimizeFunction(Function &F,
                                          DiagnosticEngine &Diags) {
   OptimizerStats Stats;
   Stats.ChecksBefore = countStaticChecks(F);
+  ++NumFunctionsOptimized;
+  obs::StatRegistry::global()
+      .counter(std::string("opt.scheme.") + placementSchemeName(Opts.Scheme),
+               "functions optimized with this placement scheme")
+      .inc();
+
+  obs::RemarkCollector *RC = Opts.Remarks;
+  obs::TraceCollector *TC = Opts.Trace;
+  obs::TraceScope FnScope(TC, "fn " + F.name());
 
   // PRE-style insertion works on edges: normalise the CFG first.
   F.splitCriticalEdges();
@@ -112,61 +144,69 @@ OptimizerStats nascent::optimizeFunction(Function &F,
   case PlacementScheme::NI:
     break;
   case PlacementScheme::CS: {
-    CheckContext Ctx(F, Opts.Implications);
+    CheckContext Ctx(F, Opts.Implications, {}, TC);
     Stats.UniverseSize = Ctx.universe().size();
     Stats.NumFamilies = Ctx.universe().numFamilies();
-    Stats.ChecksStrengthened = runCheckStrengthening(F, Ctx).ChecksStrengthened;
+    obs::TraceScope Scope(TC, "strengthen");
+    Stats.ChecksStrengthened =
+        runCheckStrengthening(F, Ctx, RC).ChecksStrengthened;
     break;
   }
   case PlacementScheme::SE:
   case PlacementScheme::LNI: {
-    CheckContext Ctx(F, Opts.Implications);
+    CheckContext Ctx(F, Opts.Implications, {}, TC);
     Stats.UniverseSize = Ctx.universe().size();
     Stats.NumFamilies = Ctx.universe().numFamilies();
+    obs::TraceScope Scope(TC, "lcm-place");
     Stats.ChecksInserted =
         runLazyCodeMotion(F, Ctx,
                           Opts.Scheme == PlacementScheme::SE
                               ? LCMPlacement::SafeEarliest
-                              : LCMPlacement::LatestNotIsolated)
+                              : LCMPlacement::LatestNotIsolated,
+                          RC)
             .ChecksInserted;
     break;
   }
   case PlacementScheme::LI:
   case PlacementScheme::LLS:
   case PlacementScheme::MCM: {
-    CheckContext Ctx(F, Opts.Implications);
+    CheckContext Ctx(F, Opts.Implications, {}, TC);
     Stats.UniverseSize = Ctx.universe().size();
     Stats.NumFamilies = Ctx.universe().numFamilies();
     PreheaderOptions PO;
     PO.EnableLLS = Opts.Scheme != PlacementScheme::LI;
     PO.MarksteinRestriction = Opts.Scheme == PlacementScheme::MCM;
-    PreheaderStats PS = runPreheaderInsertion(F, Ctx, PO, Facts);
+    obs::TraceScope Scope(TC, "preheader-insert");
+    PreheaderStats PS = runPreheaderInsertion(F, Ctx, PO, Facts, RC);
     Stats.CondChecksInserted = PS.CondChecksInserted;
     Stats.Rehoisted = PS.Rehoisted;
     break;
   }
   case PlacementScheme::AI: {
-    IntervalStats IS = eliminateChecksByIntervals(F, Diags);
+    obs::TraceScope Scope(TC, "interval-analysis");
+    IntervalStats IS = eliminateChecksByIntervals(F, Diags, RC);
     Stats.IntervalDeleted = IS.ChecksProvedRedundant;
     Stats.CompileTimeTraps += IS.ChecksProvedViolating;
     break;
   }
   case PlacementScheme::ALL: {
     {
-      CheckContext Ctx(F, Opts.Implications);
+      CheckContext Ctx(F, Opts.Implications, {}, TC);
       Stats.UniverseSize = Ctx.universe().size();
       Stats.NumFamilies = Ctx.universe().numFamilies();
       PreheaderOptions PO;
-      PreheaderStats PS = runPreheaderInsertion(F, Ctx, PO, Facts);
+      obs::TraceScope Scope(TC, "preheader-insert");
+      PreheaderStats PS = runPreheaderInsertion(F, Ctx, PO, Facts, RC);
       Stats.CondChecksInserted = PS.CondChecksInserted;
       Stats.Rehoisted = PS.Rehoisted;
     }
     {
       // Safe-earliest over the LLS result; the fresh context carries the
       // preheader facts so LCM sees the hoisted availability.
-      CheckContext Ctx(F, Opts.Implications, Facts);
+      CheckContext Ctx(F, Opts.Implications, Facts, TC);
+      obs::TraceScope Scope(TC, "lcm-place");
       Stats.ChecksInserted =
-          runLazyCodeMotion(F, Ctx, LCMPlacement::SafeEarliest)
+          runLazyCodeMotion(F, Ctx, LCMPlacement::SafeEarliest, RC)
               .ChecksInserted;
     }
     break;
@@ -179,18 +219,22 @@ OptimizerStats nascent::optimizeFunction(Function &F,
   // the abstract-interpretation school it models performs no insertion
   // and no redundancy elimination (paper section 5).
   if (Opts.Scheme != PlacementScheme::AI) {
-    CheckContext Ctx(F, Opts.Implications, Facts);
+    CheckContext Ctx(F, Opts.Implications, Facts, TC);
     Stats.UniverseSize = Ctx.universe().size();
     Stats.NumFamilies = Ctx.universe().numFamilies();
-    EliminationStats ES = eliminateRedundantChecks(F, Ctx);
+    obs::TraceScope Scope(TC, "eliminate");
+    EliminationStats ES = eliminateRedundantChecks(F, Ctx, RC);
     Stats.ChecksDeleted = ES.ChecksDeleted;
   }
 
-  // Step 5: compile-time checks.
+  // Step 5: compile-time checks. Accumulate (not assign) the trap count:
+  // the AI scheme contributes interval-proved traps above, and remark
+  // totals must reconcile with the stats.
   {
-    EliminationStats ES = foldCompileTimeChecks(F, Diags);
+    obs::TraceScope Scope(TC, "fold-consts");
+    EliminationStats ES = foldCompileTimeChecks(F, Diags, RC);
     Stats.CompileTimeDeleted = ES.CompileTimeDeleted;
-    Stats.CompileTimeTraps = ES.CompileTimeTraps;
+    Stats.CompileTimeTraps += ES.CompileTimeTraps;
     F.recomputePreds();
   }
 

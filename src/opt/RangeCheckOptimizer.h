@@ -13,8 +13,11 @@
 
 #include "ir/Function.h"
 #include "checks/CheckImplicationGraph.h"
+#include "obs/Remarks.h"
+#include "obs/Trace.h"
 #include "support/Diagnostics.h"
 
+#include <ostream>
 #include <string>
 
 namespace nascent {
@@ -54,7 +57,31 @@ struct RangeCheckOptions {
   /// Which implications between checks may be exploited; None gives the
   /// paper's primed variants (NI', SE'), CrossFamilyOnly gives LLS'.
   ImplicationMode Implications = ImplicationMode::All;
+
+  /// When set (and enabled), every pass emits one structured remark per
+  /// per-check decision; remark totals reconcile with OptimizerStats.
+  obs::RemarkCollector *Remarks = nullptr;
+  /// When set (and enabled), optimizer stages record trace spans.
+  obs::TraceCollector *Trace = nullptr;
 };
+
+/// X-macro over every field of OptimizerStats, in declaration order.
+/// operator+=, print(), and toJson() are generated from this list, and a
+/// static_assert in RangeCheckOptimizer.cpp pins the struct size so a new
+/// field cannot be added without extending the list.
+#define NASCENT_OPTIMIZER_STATS_FIELDS(X)                                      \
+  X(ChecksBefore)                                                              \
+  X(ChecksAfter)                                                               \
+  X(ChecksDeleted)                                                             \
+  X(ChecksInserted)                                                            \
+  X(CondChecksInserted)                                                        \
+  X(ChecksStrengthened)                                                        \
+  X(Rehoisted)                                                                 \
+  X(CompileTimeDeleted)                                                        \
+  X(CompileTimeTraps)                                                          \
+  X(IntervalDeleted)                                                           \
+  X(UniverseSize)                                                              \
+  X(NumFamilies)
 
 /// Aggregate statistics of one optimizer run.
 struct OptimizerStats {
@@ -72,6 +99,13 @@ struct OptimizerStats {
   size_t NumFamilies = 0;
 
   OptimizerStats &operator+=(const OptimizerStats &R);
+
+  /// One "<field>: <value>" line per field (all fields, zero or not).
+  void print(std::ostream &OS) const;
+
+  /// One flat JSON object with every field ({"ChecksBefore":N,...}).
+  void writeJson(obs::JsonWriter &W) const;
+  std::string toJson() const;
 };
 
 /// Optimizes the range checks of one function in place.

@@ -4,6 +4,14 @@
 
 using namespace nascent;
 
+namespace {
+/// Cumulative word-parallel operation count; one increment per call, not
+/// per word, so the hot solver loops pay a single add.
+uint64_t WordOpCount = 0;
+} // namespace
+
+uint64_t DenseBitVector::wordOps() { return WordOpCount; }
+
 DenseBitVector::DenseBitVector(size_t NumBits, bool InitialValue)
     : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {
   if (InitialValue)
@@ -35,6 +43,7 @@ bool DenseBitVector::any() const {
 }
 
 size_t DenseBitVector::count() const {
+  ++WordOpCount;
   size_t N = 0;
   for (uint64_t W : Words)
     N += static_cast<size_t>(std::popcount(W));
@@ -58,6 +67,7 @@ size_t DenseBitVector::findNext(size_t From) const {
 }
 
 DenseBitVector &DenseBitVector::operator|=(const DenseBitVector &RHS) {
+  ++WordOpCount;
   assert(NumBits == RHS.NumBits && "bit vector size mismatch");
   for (size_t I = 0, E = Words.size(); I != E; ++I)
     Words[I] |= RHS.Words[I];
@@ -65,6 +75,7 @@ DenseBitVector &DenseBitVector::operator|=(const DenseBitVector &RHS) {
 }
 
 DenseBitVector &DenseBitVector::operator&=(const DenseBitVector &RHS) {
+  ++WordOpCount;
   assert(NumBits == RHS.NumBits && "bit vector size mismatch");
   for (size_t I = 0, E = Words.size(); I != E; ++I)
     Words[I] &= RHS.Words[I];
@@ -72,6 +83,7 @@ DenseBitVector &DenseBitVector::operator&=(const DenseBitVector &RHS) {
 }
 
 DenseBitVector &DenseBitVector::andNot(const DenseBitVector &RHS) {
+  ++WordOpCount;
   assert(NumBits == RHS.NumBits && "bit vector size mismatch");
   for (size_t I = 0, E = Words.size(); I != E; ++I)
     Words[I] &= ~RHS.Words[I];
@@ -86,6 +98,7 @@ void DenseBitVector::clearUnusedBits() {
 namespace nascent {
 
 bool operator==(const DenseBitVector &A, const DenseBitVector &B) {
+  ++WordOpCount;
   return A.NumBits == B.NumBits && A.Words == B.Words;
 }
 

@@ -85,6 +85,12 @@ public:
       Fn(I);
   }
 
+  /// Cumulative count of word-parallel operations (|=, &=, andNot, count,
+  /// ==) performed by every vector in the process. The telemetry layer
+  /// (src/obs) surfaces this as the "support.bitvector.word_ops" gauge;
+  /// support sits below obs in the layering, so the raw total lives here.
+  static uint64_t wordOps();
+
 private:
   /// Clears any bits in the last word beyond NumBits so that whole-word
   /// operations (count, ==) remain exact.

@@ -1,0 +1,104 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide stat registry: counter/histogram/gauge semantics and
+/// the JSON snapshot `mfc -stats-json` prints. Test stats use a "test."
+/// prefix so they cannot collide with compiler-internal names.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/StatRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace nascent;
+using namespace nascent::obs;
+
+TEST(StatRegistry, CounterInterning) {
+  Counter &A = StatRegistry::global().counter("test.counter.a", "a");
+  Counter &B = StatRegistry::global().counter("test.counter.a");
+  EXPECT_EQ(&A, &B); // same name -> same counter
+  A.reset();
+  ++A;
+  A += 4;
+  A.inc();
+  A.add(2);
+  EXPECT_EQ(B.value(), 8u);
+  EXPECT_EQ(A.name(), "test.counter.a");
+  EXPECT_EQ(A.description(), "a");
+}
+
+TEST(StatRegistry, MacroBindsGlobal) {
+  NASCENT_STAT(Local, "test.counter.macro", "macro-declared");
+  Local.reset();
+  ++Local;
+  EXPECT_EQ(StatRegistry::global().counter("test.counter.macro").value(), 1u);
+}
+
+TEST(StatRegistry, HistogramStats) {
+  Histogram &H = StatRegistry::global().histogram("test.hist", "h");
+  H.reset();
+  for (uint64_t V : {0u, 1u, 2u, 3u, 8u})
+    H.record(V);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 14u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 8u);
+  EXPECT_DOUBLE_EQ(H.mean(), 14.0 / 5.0);
+  EXPECT_EQ(H.bucket(0), 1u); // the zero
+  EXPECT_EQ(H.bucket(1), 1u); // 1
+  EXPECT_EQ(H.bucket(2), 2u); // 2, 3
+  EXPECT_EQ(H.bucket(4), 1u); // 8
+}
+
+TEST(StatRegistry, GaugeReadsAtSnapshotTime) {
+  uint64_t Backing = 7;
+  StatRegistry::global().gauge("test.gauge", [&] { return Backing; }, "g");
+  JsonValue V;
+  ASSERT_TRUE(parseJson(StatRegistry::global().toJson(), V));
+  EXPECT_EQ(V.get("gauges")->get("test.gauge")->Number, 7.0);
+  Backing = 9;
+  ASSERT_TRUE(parseJson(StatRegistry::global().toJson(), V));
+  EXPECT_EQ(V.get("gauges")->get("test.gauge")->Number, 9.0);
+  // Leave a stable callback behind: the registry outlives this test.
+  StatRegistry::global().gauge("test.gauge", [] { return uint64_t(0); }, "g");
+}
+
+TEST(StatRegistry, JsonSnapshotParses) {
+  StatRegistry::global().counter("test.counter.json", "j").reset();
+  StatRegistry::global().counter("test.counter.json") += 3;
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(StatRegistry::global().toJson(), V, &Err)) << Err;
+  ASSERT_TRUE(V.isObject());
+  ASSERT_NE(V.get("counters"), nullptr);
+  ASSERT_NE(V.get("histograms"), nullptr);
+  EXPECT_EQ(V.get("counters")->get("test.counter.json")->Number, 3.0);
+  // The support layer's bit-vector op gauge registers itself on first use.
+  ASSERT_NE(V.get("gauges"), nullptr);
+  EXPECT_NE(V.get("gauges")->get("support.bitvector.word_ops"), nullptr);
+}
+
+TEST(StatRegistry, PrintSkipsZeroCounters) {
+  StatRegistry::global().counter("test.counter.zero", "z").reset();
+  Counter &NZ = StatRegistry::global().counter("test.counter.nonzero", "nz");
+  NZ.reset();
+  ++NZ;
+  std::ostringstream OS;
+  StatRegistry::global().print(OS);
+  EXPECT_EQ(OS.str().find("test.counter.zero"), std::string::npos);
+  EXPECT_NE(OS.str().find("test.counter.nonzero"), std::string::npos);
+}
+
+TEST(StatRegistry, ResetAllZeroes) {
+  Counter &C = StatRegistry::global().counter("test.counter.reset");
+  Histogram &H = StatRegistry::global().histogram("test.hist.reset");
+  C += 5;
+  H.record(5);
+  StatRegistry::global().resetAll();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(H.count(), 0u);
+}

@@ -1,0 +1,174 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pipeline-level telemetry: the per-phase timing breakdown (monotone
+/// phase starts, both clocks populated, derived accessors), the Chrome
+/// trace of a full compile (>= 5 named phases, valid JSON), and the
+/// field-for-field JSON coverage of OptimizerStats.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace nascent;
+using namespace nascent::test;
+
+namespace {
+
+const char *Program = R"(
+program timing
+  integer n, i
+  real a(50)
+  n = 40
+  do i = 1, n
+    a(i) = real(i) * 2.0
+  end do
+  print a(3)
+end program
+)";
+
+} // namespace
+
+TEST(PhaseTimings, MonotoneAndComplete) {
+  CompileResult R = compileOrDie(Program);
+  const std::vector<obs::PhaseTiming> &P = R.Phases.Phases;
+  ASSERT_GE(P.size(), 6u); // parse, sema, lower, verify, optimize,
+                           // verify-post, total
+
+  // Phases are recorded in execution order; their start offsets are
+  // monotone non-decreasing ("total" anchors at 0 and comes last).
+  double PrevStart = 0;
+  double MaxEnd = 0;
+  for (const obs::PhaseTiming &Ph : P) {
+    if (Ph.Name == "total")
+      continue;
+    EXPECT_GE(Ph.WallStart, PrevStart) << Ph.Name;
+    EXPECT_GE(Ph.WallSeconds, 0.0) << Ph.Name;
+    EXPECT_GE(Ph.CpuSeconds, 0.0) << Ph.Name;
+    PrevStart = Ph.WallStart;
+    MaxEnd = std::max(MaxEnd, Ph.WallStart + Ph.WallSeconds);
+  }
+  EXPECT_EQ(P.back().Name, "total");
+  // The total phase spans every other phase on the shared wall clock.
+  EXPECT_GE(R.totalWallSeconds(), MaxEnd);
+
+  for (const char *Name :
+       {"parse", "sema", "lower", "verify", "optimize", "verify-post"})
+    EXPECT_NE(R.Phases.find(Name), nullptr) << Name;
+
+  // Both clocks measured for both derived timings (satellite of the old
+  // OptimizeSeconds-vs-TotalSeconds clock mix-up).
+  EXPECT_GT(R.totalWallSeconds(), 0.0);
+  EXPECT_GE(R.totalCpuSeconds(), 0.0);
+  EXPECT_GT(R.optimizeWallSeconds(), 0.0);
+  EXPECT_GE(R.optimizeCpuSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(R.optimizeWallSeconds(), R.Phases.wallOf("optimize"));
+}
+
+TEST(PhaseTimings, RecordedEvenOnFrontEndError) {
+  CompileResult R = compileSource("program broken\n  this is not valid\n");
+  EXPECT_FALSE(R.Success);
+  ASSERT_NE(R.Phases.find("total"), nullptr);
+  EXPECT_GT(R.totalWallSeconds(), 0.0);
+}
+
+TEST(PhaseTimings, AuditAndSnapshotPhasesAppear) {
+  PipelineOptions PO;
+  PO.Audit = true;
+  CompileResult R = compileOrDie(Program, PO);
+  EXPECT_NE(R.Phases.find("snapshot"), nullptr);
+  EXPECT_NE(R.Phases.find("audit"), nullptr);
+}
+
+TEST(PipelineTrace, DisabledByDefault) {
+  CompileResult R = compileOrDie(Program);
+  EXPECT_FALSE(R.Trace.enabled());
+  EXPECT_TRUE(R.Trace.events().empty());
+}
+
+TEST(PipelineTrace, FullCompileTraceRoundTrips) {
+  PipelineOptions PO;
+  PO.Telemetry.Trace = true;
+  CompileResult R = compileOrDie(Program, PO);
+
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(R.Trace.toJson(), V, &Err)) << Err;
+  const obs::JsonValue *Events = V.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+
+  std::set<std::string> Names;
+  for (const obs::JsonValue &E : Events->Array)
+    Names.insert(E.get("name")->String);
+  // The acceptance bar: at least five named pipeline phases, plus the
+  // optimizer's own sub-phases.
+  for (const char *Phase : {"parse", "sema", "lower", "verify", "optimize"})
+    EXPECT_TRUE(Names.count(Phase)) << Phase;
+  EXPECT_TRUE(Names.count("cig-build"));
+  EXPECT_TRUE(Names.count("solve-avail"));
+  EXPECT_TRUE(Names.count("eliminate"));
+  EXPECT_GE(Names.size(), 5u);
+}
+
+TEST(PipelineTrace, TracePathWritesFile) {
+  std::string Path = testing::TempDir() + "nascent_pipeline_trace.json";
+  PipelineOptions PO;
+  PO.Telemetry.TracePath = Path; // implies Trace
+  CompileResult R = compileOrDie(Program, PO);
+  EXPECT_TRUE(R.Trace.enabled());
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream SS;
+  SS << In.rdbuf();
+  obs::JsonValue V;
+  EXPECT_TRUE(obs::parseJson(SS.str(), V));
+  std::remove(Path.c_str());
+}
+
+TEST(OptimizerStatsJson, FieldForFieldCoverage) {
+  OptimizerStats S;
+  // Give every field a distinct value via the X-macro...
+  unsigned Seed = 1;
+#define NASCENT_X(F) S.F = Seed++;
+  NASCENT_OPTIMIZER_STATS_FIELDS(NASCENT_X)
+#undef NASCENT_X
+
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(S.toJson(), V, &Err)) << Err;
+  ASSERT_TRUE(V.isObject());
+
+  // ...and assert the JSON carries exactly those fields with those values.
+  unsigned Expect = 1;
+  size_t NumFields = 0;
+#define NASCENT_X(F)                                                           \
+  {                                                                            \
+    const obs::JsonValue *P = V.get(#F);                                       \
+    ASSERT_NE(P, nullptr) << #F;                                               \
+    EXPECT_EQ(P->Number, static_cast<double>(Expect)) << #F;                   \
+    ++Expect;                                                                  \
+    ++NumFields;                                                               \
+  }
+  NASCENT_OPTIMIZER_STATS_FIELDS(NASCENT_X)
+#undef NASCENT_X
+  EXPECT_EQ(V.Object.size(), NumFields);
+}
+
+TEST(OptimizerStatsJson, PrintCoversEveryField) {
+  OptimizerStats S;
+  std::ostringstream OS;
+  S.print(OS);
+  std::string Text = OS.str();
+#define NASCENT_X(F) EXPECT_NE(Text.find(#F), std::string::npos) << #F;
+  NASCENT_OPTIMIZER_STATS_FIELDS(NASCENT_X)
+#undef NASCENT_X
+}

@@ -1,0 +1,128 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace collector: span nesting, the Chrome trace_event JSON shape
+/// (round-tripped through the bundled parser), and the no-op cost paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace nascent;
+using namespace nascent::obs;
+
+TEST(Trace, DisabledCollectorRecordsNothing) {
+  TraceCollector C;
+  {
+    TraceScope S(&C, "phase");
+    TraceScope T(nullptr, "null-collector is fine too");
+  }
+  EXPECT_FALSE(C.enabled());
+  EXPECT_TRUE(C.events().empty());
+}
+
+TEST(Trace, NestedScopes) {
+  TraceCollector C;
+  C.enable();
+  {
+    TraceScope Outer(&C, "outer");
+    {
+      TraceScope Inner(&C, "inner");
+    }
+  }
+  // Children close (and are appended) before parents.
+  ASSERT_EQ(C.events().size(), 2u);
+  EXPECT_EQ(C.events()[0].Name, "inner");
+  EXPECT_EQ(C.events()[1].Name, "outer");
+  EXPECT_EQ(C.events()[0].Depth, 1u);
+  EXPECT_EQ(C.events()[1].Depth, 0u);
+  // The parent span contains the child span.
+  EXPECT_LE(C.events()[1].StartUs, C.events()[0].StartUs);
+  EXPECT_GE(C.events()[1].StartUs + C.events()[1].DurUs,
+            C.events()[0].StartUs + C.events()[0].DurUs);
+}
+
+TEST(Trace, JsonRoundTrip) {
+  TraceCollector C;
+  C.enable();
+  {
+    TraceScope A(&C, "alpha");
+    { TraceScope B(&C, "beta \"quoted\""); }
+  }
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(C.toJson(), V, &Err)) << Err;
+  const JsonValue *Events = V.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  ASSERT_EQ(Events->Array.size(), 2u);
+  for (const JsonValue &E : Events->Array) {
+    EXPECT_EQ(E.get("ph")->String, "X"); // complete events
+    EXPECT_EQ(E.get("cat")->String, "phase");
+    ASSERT_NE(E.get("ts"), nullptr);
+    ASSERT_NE(E.get("dur"), nullptr);
+    ASSERT_NE(E.get("pid"), nullptr);
+    ASSERT_NE(E.get("tid"), nullptr);
+  }
+  EXPECT_EQ(Events->Array[0].get("name")->String, "beta \"quoted\"");
+  EXPECT_EQ(Events->Array[1].get("name")->String, "alpha");
+}
+
+TEST(Trace, WriteFile) {
+  TraceCollector C;
+  C.enable();
+  { TraceScope S(&C, "span"); }
+  std::string Path = testing::TempDir() + "nascent_trace_test.json";
+  std::string Err;
+  ASSERT_TRUE(C.writeFile(Path, &Err)) << Err;
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  JsonValue V;
+  EXPECT_TRUE(parseJson(SS.str(), V));
+  std::remove(Path.c_str());
+
+  EXPECT_FALSE(C.writeFile("/nonexistent-dir/x/y/trace.json", &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Trace, ScopedPhaseRecordsBothClocksAndMirrorsSpan) {
+  PhaseTimings PT;
+  TraceCollector C;
+  C.enable();
+  auto T0 = std::chrono::steady_clock::now();
+  {
+    ScopedPhase P(PT, "work", T0, &C);
+    // Burn a little CPU so the phase has nonzero durations.
+    volatile uint64_t X = 0;
+    for (int I = 0; I != 100000; ++I)
+      X = X + static_cast<uint64_t>(I);
+  }
+  ASSERT_EQ(PT.Phases.size(), 1u);
+  EXPECT_EQ(PT.Phases[0].Name, "work");
+  EXPECT_GE(PT.Phases[0].WallStart, 0.0);
+  EXPECT_GT(PT.Phases[0].WallSeconds, 0.0);
+  EXPECT_GE(PT.Phases[0].CpuSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(PT.wallOf("work"), PT.Phases[0].WallSeconds);
+  EXPECT_DOUBLE_EQ(PT.cpuOf("work"), PT.Phases[0].CpuSeconds);
+  EXPECT_EQ(PT.find("absent"), nullptr);
+  EXPECT_EQ(PT.wallOf("absent"), 0.0);
+  ASSERT_EQ(C.events().size(), 1u);
+  EXPECT_EQ(C.events()[0].Name, "work");
+}
+
+TEST(Trace, ProcessCpuClockAdvances) {
+  double A = processCpuSeconds();
+  volatile uint64_t X = 0;
+  for (int I = 0; I != 2000000; ++I)
+    X = X + static_cast<uint64_t>(I);
+  double B = processCpuSeconds();
+  EXPECT_GE(B, A);
+}
