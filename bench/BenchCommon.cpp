@@ -1,5 +1,7 @@
 #include "BenchCommon.h"
 
+#include "obs/BenchSchema.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,16 +45,63 @@ RunResult nascent::bench::runProgram(const SuiteProgram &Program,
   return R;
 }
 
+MeasuredRun nascent::bench::measureProgram(const SuiteProgram &Program,
+                                           CheckSource Source, bool Optimize,
+                                           PlacementScheme Scheme,
+                                           ImplicationMode Mode,
+                                           const BenchFlags &Flags) {
+  for (unsigned W = 0; W != Flags.Warmup; ++W)
+    runProgram(Program, Source, Optimize, Scheme, Mode);
+
+  MeasuredRun M;
+  unsigned Reps = std::max(1u, Flags.Reps);
+  std::vector<double> OptWall, OptCpu, TotWall, TotCpu;
+  OptWall.reserve(Reps);
+  OptCpu.reserve(Reps);
+  TotWall.reserve(Reps);
+  TotCpu.reserve(Reps);
+  for (unsigned R = 0; R != Reps; ++R) {
+    // Bracket each rep in registry snapshots: the work map must hold one
+    // rep's worth of counters, not the accumulation across --reps.
+    obs::StatSnapshot Before = obs::StatRegistry::global().snapshot();
+    M.Run = runProgram(Program, Source, Optimize, Scheme, Mode);
+    M.Work = obs::StatRegistry::global().snapshot().deltaFrom(Before);
+    OptWall.push_back(M.Run.OptimizeWallSeconds);
+    OptCpu.push_back(M.Run.OptimizeCpuSeconds);
+    TotWall.push_back(M.Run.TotalWallSeconds);
+    TotCpu.push_back(M.Run.TotalCpuSeconds);
+  }
+  M.OptimizeWall = obs::summarizeSamples(OptWall);
+  M.OptimizeCpu = obs::summarizeSamples(OptCpu);
+  M.TotalWall = obs::summarizeSamples(TotWall);
+  M.TotalCpu = obs::summarizeSamples(TotCpu);
+  return M;
+}
+
 bool nascent::bench::parseBenchFlags(int Argc, char **Argv, BenchFlags &Out) {
+  auto Usage = [Argv] {
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--tiny] [--reps N] [--warmup N]\n",
+                 Argv[0]);
+    return false;
+  };
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--json") == 0)
       Out.Json = true;
     else if (std::strcmp(Argv[I], "--tiny") == 0)
       Out.Tiny = true;
-    else {
-      std::fprintf(stderr, "usage: %s [--json] [--tiny]\n", Argv[0]);
-      return false;
-    }
+    else if (std::strcmp(Argv[I], "--reps") == 0 && I + 1 < Argc) {
+      long N = std::atol(Argv[++I]);
+      if (N < 1)
+        return Usage();
+      Out.Reps = static_cast<unsigned>(N);
+    } else if (std::strcmp(Argv[I], "--warmup") == 0 && I + 1 < Argc) {
+      long N = std::atol(Argv[++I]);
+      if (N < 0)
+        return Usage();
+      Out.Warmup = static_cast<unsigned>(N);
+    } else
+      return Usage();
   }
   return true;
 }
@@ -65,9 +114,28 @@ std::vector<SuiteProgram> nascent::bench::benchSuite(const BenchFlags &Flags) {
   return std::vector<SuiteProgram>(Full.begin(), Full.begin() + N);
 }
 
+void nascent::bench::beginBenchDocument(obs::JsonWriter &W,
+                                        const char *Harness,
+                                        const BenchFlags &Flags) {
+  W.beginObject();
+  W.kv("schemaVersion", obs::BenchSchemaVersion);
+  W.kv("harness", Harness);
+  W.key("env");
+  obs::writeBenchEnv(W, obs::captureBenchEnv());
+  W.key("config");
+  W.beginObject();
+  W.kv("reps", static_cast<uint64_t>(std::max(1u, Flags.Reps)));
+  W.kv("warmup", static_cast<uint64_t>(Flags.Warmup));
+  W.kv("tiny", Flags.Tiny);
+  W.endObject();
+}
+
+void nascent::bench::endBenchDocument(obs::JsonWriter &W) { W.endObject(); }
+
 void nascent::bench::writeRunJson(obs::JsonWriter &W, const char *Program,
                                   const RunResult &Naive,
-                                  const RunResult &Run) {
+                                  const MeasuredRun &Measured) {
+  const RunResult &Run = Measured.Run;
   W.beginObject();
   W.kv("program", Program);
   W.kv("dynChecks", Run.Exec.DynChecks);
@@ -78,10 +146,19 @@ void nascent::bench::writeRunJson(obs::JsonWriter &W, const char *Program,
   Run.Opt.writeJson(W);
   W.key("timing");
   W.beginObject();
-  W.kv("optimizeWallSeconds", Run.OptimizeWallSeconds);
-  W.kv("optimizeCpuSeconds", Run.OptimizeCpuSeconds);
-  W.kv("totalWallSeconds", Run.TotalWallSeconds);
-  W.kv("totalCpuSeconds", Run.TotalCpuSeconds);
+  W.key("optimizeWall");
+  Measured.OptimizeWall.writeJson(W);
+  W.key("optimizeCpu");
+  Measured.OptimizeCpu.writeJson(W);
+  W.key("totalWall");
+  Measured.TotalWall.writeJson(W);
+  W.key("totalCpu");
+  Measured.TotalCpu.writeJson(W);
+  W.endObject();
+  W.key("work");
+  W.beginObject();
+  for (const auto &[Name, V] : Measured.Work)
+    W.kv(Name, V);
   W.endObject();
   W.endObject();
 }

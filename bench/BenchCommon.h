@@ -2,7 +2,13 @@
 ///
 /// \file
 /// Shared helpers for the table harnesses: compile + run a suite program
-/// under a configuration, with caching of the naive baseline runs.
+/// under a configuration — repeated `--reps` times with warmup, timing
+/// summarised by median/MAD/bootstrap-CI on both clocks, and every rep's
+/// StatRegistry delta captured as deterministic work-proxy counters — with
+/// caching of the naive baseline runs, and the versioned JSON envelope
+/// (schemaVersion + environment + config) every harness document opens
+/// with. `examples/benchdiff` consumes these documents; docs/benchmarking.md
+/// describes the schema.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -12,6 +18,8 @@
 #include "driver/Pipeline.h"
 #include "interp/Interpreter.h"
 #include "obs/Json.h"
+#include "obs/Sampling.h"
+#include "obs/StatRegistry.h"
 #include "suite/Suite.h"
 
 #include <string>
@@ -32,12 +40,34 @@ struct RunResult {
   double TotalCpuSeconds = 0;
 };
 
+/// A configuration run repeated `--reps` times (after `--warmup` unmeasured
+/// runs): the last rep's counts, the timing sample summaries, and the
+/// per-rep StatRegistry delta. The counts and the work map are
+/// deterministic — identical for every rep (tests/obs/DeterminismTest
+/// holds the compiler to that) — so keeping the last rep loses nothing;
+/// only the clocks need statistics.
+struct MeasuredRun {
+  RunResult Run;
+  obs::SampleStats OptimizeWall;
+  obs::SampleStats OptimizeCpu;
+  obs::SampleStats TotalWall;
+  obs::SampleStats TotalCpu;
+  /// Work-proxy counters: the global StatRegistry delta over one rep
+  /// (compile + interpret), e.g. bit-vector word ops, dataflow iterations
+  /// to fixpoint, CIG edges. Immune to machine noise.
+  obs::StatSnapshot::FlatMap Work;
+};
+
 /// Common harness flags: `--json` switches the harness from the printed
 /// table to one machine-readable JSON document on stdout; `--tiny` caps
-/// interpreter work for smoke runs (bench-smoke CTest label).
+/// interpreter work for smoke runs (bench-smoke CTest label); `--reps N`
+/// measures each configuration N times (after `--warmup M` discarded
+/// runs) so the JSON carries confidence intervals worth gating on.
 struct BenchFlags {
   bool Json = false;
   bool Tiny = false;
+  unsigned Reps = 1;
+  unsigned Warmup = 0;
 };
 
 /// Parses argv for the common flags; returns false (after printing a
@@ -48,18 +78,35 @@ bool parseBenchFlags(int Argc, char **Argv, BenchFlags &Out);
 /// a three-program subset under --tiny.
 std::vector<SuiteProgram> benchSuite(const BenchFlags &Flags);
 
-/// Appends one JSON object for a measured run: the dynamic/static counts,
-/// the optimizer stats, and the dual-clock timings. Used by every table
-/// harness's --json mode (and by examples/audit_all).
-void writeRunJson(obs::JsonWriter &W, const char *Program,
-                  const RunResult &Naive, const RunResult &Run);
+/// Opens the versioned document envelope every harness's --json mode
+/// emits: schemaVersion, harness name, environment capture, and the
+/// repetition config. Leaves the top-level object open; the harness adds
+/// its "runs" array and calls endBenchDocument.
+void beginBenchDocument(obs::JsonWriter &W, const char *Harness,
+                        const BenchFlags &Flags);
+void endBenchDocument(obs::JsonWriter &W);
 
-/// Compiles and runs \p Program. When \p Optimize is false the naive
+/// Appends one JSON object for a measured run: the dynamic/static counts,
+/// the optimizer stats, the timing sample summaries (both clocks), and
+/// the work-proxy counter deltas. Used by every table harness's --json
+/// mode.
+void writeRunJson(obs::JsonWriter &W, const char *Program,
+                  const RunResult &Naive, const MeasuredRun &Run);
+
+/// Compiles and runs \p Program once. When \p Optimize is false the naive
 /// baseline is produced. Terminates with a message on compile failure
 /// (the suite must always compile).
 RunResult runProgram(const SuiteProgram &Program, CheckSource Source,
                      bool Optimize, PlacementScheme Scheme,
                      ImplicationMode Mode);
+
+/// The repetition driver: runs \p Program Flags.Warmup unmeasured times,
+/// then Flags.Reps measured times, summarising the clocks and snapshotting
+/// the StatRegistry around each rep so the work map holds per-rep (not
+/// accumulated) values.
+MeasuredRun measureProgram(const SuiteProgram &Program, CheckSource Source,
+                           bool Optimize, PlacementScheme Scheme,
+                           ImplicationMode Mode, const BenchFlags &Flags);
 
 /// Naive baseline (checks inserted, no optimization) for \p Source kind.
 const RunResult &naiveBaseline(const SuiteProgram &Program,

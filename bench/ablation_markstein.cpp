@@ -28,8 +28,7 @@ int main(int argc, char **argv) {
 
   obs::JsonWriter W;
   if (Flags.Json) {
-    W.beginObject();
-    W.kv("table", "ablation_markstein");
+    beginBenchDocument(W, "ablation_markstein", Flags);
     W.key("runs");
     W.beginArray();
   } else {
@@ -49,8 +48,8 @@ int main(int argc, char **argv) {
     std::vector<std::string> Row = {placementSchemeName(S)};
     for (const SuiteProgram &P : Suite) {
       const RunResult &Naive = naiveBaseline(P, CheckSource::PRX);
-      RunResult Opt = runProgram(P, CheckSource::PRX, /*Optimize=*/true, S,
-                                 ImplicationMode::All);
+      MeasuredRun Opt = measureProgram(P, CheckSource::PRX, /*Optimize=*/true,
+                                       S, ImplicationMode::All, Flags);
       if (Flags.Json) {
         W.beginObject();
         W.kv("scheme", placementSchemeName(S));
@@ -58,14 +57,14 @@ int main(int argc, char **argv) {
         writeRunJson(W, P.Name, Naive, Opt);
         W.endObject();
       }
-      Row.push_back(formatString("%.2f", percentEliminated(Naive, Opt)));
+      Row.push_back(formatString("%.2f", percentEliminated(Naive, Opt.Run)));
     }
     T.addRow(std::move(Row));
   }
 
   if (Flags.Json) {
     W.endArray();
-    W.endObject();
+    endBenchDocument(W);
     std::printf("%s\n", W.str().c_str());
     return 0;
   }

@@ -9,6 +9,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "analysis/Dataflow.h"
 #include "checks/CheckImplicationGraph.h"
 #include "driver/Pipeline.h"
@@ -18,7 +19,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -155,17 +158,30 @@ BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
 } // namespace
 
 // Same common flags as the table harnesses, rewritten onto
-// google-benchmark's own: --json selects JSON output, --tiny caps the
-// measured time per benchmark for the bench-smoke CTest runs.
+// google-benchmark's own: --tiny caps the measured time per benchmark for
+// the bench-smoke CTest runs, --reps/--warmup become repetitions/warmup
+// time, and --json captures google-benchmark's JSON document and wraps it
+// in the versioned bench envelope (schemaVersion + env + config).
 int main(int argc, char **argv) {
+  bench::BenchFlags Flags;
   std::vector<std::string> Storage;
   Storage.push_back(argv[0]);
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0)
-      Storage.push_back("--benchmark_format=json");
-    else if (std::strcmp(argv[I], "--tiny") == 0)
-      Storage.push_back("--benchmark_min_time=0.01s");
-    else
+      Flags.Json = true;
+    else if (std::strcmp(argv[I], "--tiny") == 0) {
+      Flags.Tiny = true;
+      Storage.push_back("--benchmark_min_time=0.01");
+    } else if (std::strcmp(argv[I], "--reps") == 0 && I + 1 < argc) {
+      Flags.Reps = static_cast<unsigned>(std::atol(argv[++I]));
+      Storage.push_back("--benchmark_repetitions=" +
+                        std::to_string(Flags.Reps));
+      Storage.push_back("--benchmark_report_aggregates_only=true");
+    } else if (std::strcmp(argv[I], "--warmup") == 0 && I + 1 < argc) {
+      Flags.Warmup = static_cast<unsigned>(std::atol(argv[++I]));
+      Storage.push_back("--benchmark_min_warmup_time=" +
+                        std::to_string(0.01 * Flags.Warmup));
+    } else
       Storage.push_back(argv[I]);
   }
   std::vector<char *> Args;
@@ -173,6 +189,19 @@ int main(int argc, char **argv) {
     Args.push_back(S.data());
   int Argc = static_cast<int>(Args.size());
   benchmark::Initialize(&Argc, Args.data());
-  benchmark::RunSpecifiedBenchmarks();
+  if (!Flags.Json) {
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+  std::ostringstream Captured;
+  benchmark::JSONReporter Reporter;
+  Reporter.SetOutputStream(&Captured);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  obs::JsonWriter W;
+  bench::beginBenchDocument(W, "bench_micro", Flags);
+  W.key("googleBenchmark");
+  W.rawValue(Captured.str());
+  bench::endBenchDocument(W);
+  std::printf("%s\n", W.str().c_str());
   return 0;
 }

@@ -9,14 +9,19 @@
 /// unprimed counterparts because the check universe degenerates to one
 /// family per check.
 ///
+/// `--json` wraps google-benchmark's own JSON document in the versioned
+/// bench envelope (schemaVersion + env + config) so `json_check` can
+/// validate it and `benchdiff` can gate the per-iteration CPU medians.
+///
 //===----------------------------------------------------------------------===//
 
-#include "driver/Pipeline.h"
-#include "suite/Suite.h"
+#include "BenchCommon.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -27,25 +32,41 @@ namespace {
 /// Whether --tiny was given: run a reduced suite for smoke validation.
 bool TinyRun = false;
 
-/// Rewrites the common harness flags onto google-benchmark's own:
-/// --json becomes --benchmark_format=json, --tiny caps the measured time
-/// (and trims the suite via TinyRun). Everything else passes through.
+/// Rewrites the common harness flags onto google-benchmark's own: --tiny
+/// caps the measured time (and trims the suite via TinyRun), --reps N
+/// becomes --benchmark_repetitions=N (aggregates only — benchdiff reads
+/// the medians), --warmup N becomes a minimum warmup time. --json is
+/// handled by main (the run is captured and wrapped in the bench
+/// envelope). Everything else passes through.
 std::vector<char *> translateBenchArgs(int &Argc, char **Argv,
+                                       bench::BenchFlags &Flags,
                                        std::vector<std::string> &Storage) {
   Storage.clear();
   Storage.push_back(Argv[0]);
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--json") == 0)
-      Storage.push_back("--benchmark_format=json");
+      Flags.Json = true;
     else if (std::strcmp(Argv[I], "--tiny") == 0) {
+      Flags.Tiny = true;
       TinyRun = true;
-      Storage.push_back("--benchmark_min_time=0.01s");
+      Storage.push_back("--benchmark_min_time=0.01");
       // A representative subset (cheapest, the paper's best, and one PRE
       // scheme) keeps the smoke run to a few seconds.
       Storage.push_back("--benchmark_filter=BM_Optimize/(NI|SE|LLS)/PRX");
+    } else if (std::strcmp(Argv[I], "--reps") == 0 && I + 1 < Argc) {
+      Flags.Reps = static_cast<unsigned>(std::atol(Argv[++I]));
+      Storage.push_back("--benchmark_repetitions=" +
+                        std::to_string(Flags.Reps));
+      Storage.push_back("--benchmark_report_aggregates_only=true");
+    } else if (std::strcmp(Argv[I], "--warmup") == 0 && I + 1 < Argc) {
+      Flags.Warmup = static_cast<unsigned>(std::atol(Argv[++I]));
+      Storage.push_back("--benchmark_min_warmup_time=" +
+                        std::to_string(0.01 * Flags.Warmup));
     } else
       Storage.push_back(Argv[I]);
   }
+  if (Flags.Json && !Flags.Reps)
+    Flags.Reps = 1;
   std::vector<char *> Out;
   for (std::string &S : Storage)
     Out.push_back(S.data());
@@ -91,7 +112,10 @@ void benchScheme(benchmark::State &State, PlacementScheme Scheme,
       ChecksDeleted += S.ChecksDeleted;
     }
   }
-  State.counters["checksDeleted"] = static_cast<double>(ChecksDeleted);
+  // Per-iteration, so the value is deterministic (independent of how many
+  // iterations the timer needed) and benchdiff could diff it meaningfully.
+  State.counters["checksDeleted"] = benchmark::Counter(
+      static_cast<double>(ChecksDeleted), benchmark::Counter::kAvgIterations);
 }
 
 void registerAll() {
@@ -128,10 +152,25 @@ void registerAll() {
 } // namespace
 
 int main(int argc, char **argv) {
+  bench::BenchFlags Flags;
   std::vector<std::string> Storage;
-  std::vector<char *> Args = translateBenchArgs(argc, argv, Storage);
+  std::vector<char *> Args = translateBenchArgs(argc, argv, Flags, Storage);
   registerAll();
   benchmark::Initialize(&argc, Args.data());
-  benchmark::RunSpecifiedBenchmarks();
+  if (!Flags.Json) {
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+  // Capture google-benchmark's JSON and wrap it in the bench envelope.
+  std::ostringstream Captured;
+  benchmark::JSONReporter Reporter;
+  Reporter.SetOutputStream(&Captured);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  obs::JsonWriter W;
+  bench::beginBenchDocument(W, "bench_optimizer_time", Flags);
+  W.key("googleBenchmark");
+  W.rawValue(Captured.str());
+  bench::endBenchDocument(W);
+  std::printf("%s\n", W.str().c_str());
   return 0;
 }

@@ -2,15 +2,20 @@
 ///
 /// \file
 /// json_check: runs a command, captures its stdout, and verifies the
-/// output parses as a single JSON document. The bench-smoke CTest entries
-/// use it to validate every harness's --json mode:
+/// output is a single well-formed bench document — not just parsable
+/// JSON, but a known schemaVersion with every required envelope field
+/// (harness, env, config) and a plausible runs/googleBenchmark payload
+/// (obs/BenchSchema.h). The bench-smoke CTest entries use it to validate
+/// every harness's --json mode:
 ///
 ///   json_check ./table2_schemes --json --tiny
 ///
-/// Exits 0 on valid JSON, 1 on a parse failure or a failing command.
+/// Exits 0 on a valid document, 1 on a parse/validation failure or a
+/// failing command.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/BenchSchema.h"
 #include "obs/Json.h"
 
 #include <cstdio>
@@ -55,7 +60,14 @@ int main(int argc, char **argv) {
                  Cmd.c_str(), Err.c_str());
     return 1;
   }
-  std::printf("json_check: %s: ok (%zu bytes of JSON)\n", Cmd.c_str(),
-              Out.size());
+  if (!obs::validateBenchDocument(V, &Err)) {
+    std::fprintf(stderr,
+                 "json_check: '%s' output fails schema validation: %s\n",
+                 Cmd.c_str(), Err.c_str());
+    return 1;
+  }
+  std::printf("json_check: %s: ok (%zu bytes, schemaVersion %lld)\n",
+              Cmd.c_str(), Out.size(),
+              static_cast<long long>(obs::BenchSchemaVersion));
   return 0;
 }

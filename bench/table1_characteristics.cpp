@@ -25,9 +25,8 @@ int main(int argc, char **argv) {
 
   obs::JsonWriter W;
   if (Flags.Json) {
-    W.beginObject();
-    W.kv("table", "table1_characteristics");
-    W.key("programs");
+    beginBenchDocument(W, "table1_characteristics", Flags);
+    W.key("runs");
     W.beginArray();
   } else {
     std::printf("Table 1: program characteristics of benchmark programs\n");
@@ -42,16 +41,17 @@ int main(int argc, char **argv) {
   for (const SuiteProgram &P : Suite) {
     const RunResult &R = naiveBaseline(P, CheckSource::PRX);
     if (Flags.Json) {
+      MeasuredRun Naive =
+          measureProgram(P, CheckSource::PRX, /*Optimize=*/false,
+                         PlacementScheme::NI, ImplicationMode::All, Flags);
       W.beginObject();
-      W.kv("program", P.Name);
       W.kv("suite", P.Origin);
       W.kv("lines", static_cast<uint64_t>(countSourceLines(P.Source)));
-      W.kv("subroutines", R.Static.Units);
-      W.kv("loops", R.Static.Loops);
-      W.kv("staticInstrs", R.Static.Instrs);
-      W.kv("dynInstrs", R.Exec.DynInstrs);
-      W.kv("staticChecks", R.Static.Checks);
-      W.kv("dynChecks", R.Exec.DynChecks);
+      W.kv("subroutines", Naive.Run.Static.Units);
+      W.kv("loops", Naive.Run.Static.Loops);
+      W.kv("staticInstrs", Naive.Run.Static.Instrs);
+      W.key("run");
+      writeRunJson(W, P.Name, Naive.Run, Naive);
       W.endObject();
     }
     double StRatio =
@@ -72,7 +72,7 @@ int main(int argc, char **argv) {
 
   if (Flags.Json) {
     W.endArray();
-    W.endObject();
+    endBenchDocument(W);
     std::printf("%s\n", W.str().c_str());
     return 0;
   }

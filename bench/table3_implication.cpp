@@ -41,8 +41,7 @@ int main(int argc, char **argv) {
 
   obs::JsonWriter W;
   if (Flags.Json) {
-    W.beginObject();
-    W.kv("table", "table3_implication");
+    beginBenchDocument(W, "table3_implication", Flags);
     W.key("runs");
     W.beginArray();
   } else {
@@ -63,8 +62,8 @@ int main(int argc, char **argv) {
       double RangeSecs = 0, TotalSecs = 0;
       for (const SuiteProgram &P : Suite) {
         const RunResult &Naive = naiveBaseline(P, Source);
-        RunResult Opt =
-            runProgram(P, Source, /*Optimize=*/true, C.Scheme, C.Mode);
+        MeasuredRun Opt = measureProgram(P, Source, /*Optimize=*/true,
+                                         C.Scheme, C.Mode, Flags);
         if (Flags.Json) {
           W.beginObject();
           W.kv("source", checkSourceName(Source));
@@ -73,9 +72,10 @@ int main(int argc, char **argv) {
           writeRunJson(W, P.Name, Naive, Opt);
           W.endObject();
         }
-        Row.push_back(formatString("%.2f", percentEliminated(Naive, Opt)));
-        RangeSecs += Opt.OptimizeWallSeconds;
-        TotalSecs += Opt.TotalWallSeconds;
+        Row.push_back(
+            formatString("%.2f", percentEliminated(Naive, Opt.Run)));
+        RangeSecs += Opt.Run.OptimizeWallSeconds;
+        TotalSecs += Opt.Run.TotalWallSeconds;
       }
       Row.push_back(formatString("%.3f", RangeSecs));
       Row.push_back(formatString("%.3f", TotalSecs));
@@ -89,7 +89,7 @@ int main(int argc, char **argv) {
 
   if (Flags.Json) {
     W.endArray();
-    W.endObject();
+    endBenchDocument(W);
     std::printf("%s\n", W.str().c_str());
     return 0;
   }

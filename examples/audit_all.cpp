@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "obs/BenchSchema.h"
 #include "obs/Json.h"
 #include "suite/Suite.h"
 #include "support/StringUtils.h"
@@ -72,6 +73,7 @@ int main(int argc, char **argv) {
   obs::JsonWriter W;
   if (Json) {
     W.beginObject();
+    W.kv("schemaVersion", obs::BenchSchemaVersion);
     W.kv("tool", "audit_all");
     W.key("runs");
     W.beginArray();

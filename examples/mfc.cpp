@@ -37,6 +37,7 @@
 #include "driver/Pipeline.h"
 #include "interp/Interpreter.h"
 #include "ir/IRPrinter.h"
+#include "obs/BenchSchema.h"
 #include "obs/Json.h"
 #include "obs/StatRegistry.h"
 
@@ -188,6 +189,7 @@ int main(int argc, char **argv) {
   if (StatsJson) {
     obs::JsonWriter W;
     W.beginObject();
+    W.kv("schemaVersion", obs::BenchSchemaVersion);
     W.key("optimizer");
     R.Stats.writeJson(W);
     W.key("phases");

@@ -131,6 +131,12 @@ JsonWriter &JsonWriter::null() {
   return *this;
 }
 
+JsonWriter &JsonWriter::rawValue(const std::string &Json) {
+  comma();
+  Out += Json;
+  return *this;
+}
+
 const JsonValue *JsonValue::get(const std::string &Key) const {
   if (!isObject())
     return nullptr;

@@ -46,6 +46,11 @@ public:
   JsonWriter &value(bool V);
   JsonWriter &null();
 
+  /// Splices \p Json — which must itself be one well-formed JSON value —
+  /// verbatim into the value position. Used to embed a captured
+  /// google-benchmark document inside the bench envelope.
+  JsonWriter &rawValue(const std::string &Json);
+
   /// key + value in one call.
   template <typename T> JsonWriter &kv(const std::string &K, T V) {
     key(K);

@@ -1,0 +1,122 @@
+#include "obs/Sampling.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace nascent;
+using namespace nascent::obs;
+
+double nascent::obs::median(std::vector<double> Samples) {
+  if (Samples.empty())
+    return 0;
+  size_t Mid = Samples.size() / 2;
+  std::nth_element(Samples.begin(), Samples.begin() + Mid, Samples.end());
+  double Upper = Samples[Mid];
+  if (Samples.size() % 2)
+    return Upper;
+  double Lower = *std::max_element(Samples.begin(), Samples.begin() + Mid);
+  return (Lower + Upper) / 2;
+}
+
+namespace {
+
+/// splitmix64: tiny, seedable, and good enough for bootstrap resampling.
+struct SplitMix64 {
+  uint64_t State;
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  size_t below(size_t N) { return static_cast<size_t>(next() % N); }
+};
+
+} // namespace
+
+SampleStats nascent::obs::summarizeSamples(const std::vector<double> &Samples,
+                                           unsigned Resamples) {
+  SampleStats S;
+  if (Samples.empty())
+    return S;
+  S.N = Samples.size();
+  S.Min = *std::min_element(Samples.begin(), Samples.end());
+  S.Max = *std::max_element(Samples.begin(), Samples.end());
+  double Sum = 0;
+  for (double V : Samples)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(Samples.size());
+  S.Median = median(Samples);
+
+  std::vector<double> Dev;
+  Dev.reserve(Samples.size());
+  for (double V : Samples)
+    Dev.push_back(std::fabs(V - S.Median));
+  S.MAD = median(std::move(Dev));
+
+  if (Samples.size() == 1 || Resamples == 0) {
+    S.CiLow = S.Median;
+    S.CiHigh = S.Median;
+    return S;
+  }
+
+  // Percentile bootstrap of the median. Fixed seed: identical samples
+  // must yield identical records.
+  SplitMix64 Rng{0x6e617363656e74ull}; // "nascent"
+  std::vector<double> Medians;
+  Medians.reserve(Resamples);
+  std::vector<double> Draw(Samples.size());
+  for (unsigned R = 0; R != Resamples; ++R) {
+    for (double &D : Draw)
+      D = Samples[Rng.below(Samples.size())];
+    Medians.push_back(median(Draw));
+  }
+  std::sort(Medians.begin(), Medians.end());
+  auto Percentile = [&Medians](double P) {
+    double Idx = P * static_cast<double>(Medians.size() - 1);
+    size_t Lo = static_cast<size_t>(Idx);
+    size_t Hi = std::min(Lo + 1, Medians.size() - 1);
+    double Frac = Idx - static_cast<double>(Lo);
+    return Medians[Lo] * (1 - Frac) + Medians[Hi] * Frac;
+  };
+  S.CiLow = Percentile(0.025);
+  S.CiHigh = Percentile(0.975);
+  return S;
+}
+
+void SampleStats::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.kv("n", N);
+  W.kv("min", Min);
+  W.kv("max", Max);
+  W.kv("mean", Mean);
+  W.kv("median", Median);
+  W.kv("mad", MAD);
+  W.kv("ciLow", CiLow);
+  W.kv("ciHigh", CiHigh);
+  W.endObject();
+}
+
+bool SampleStats::fromJson(const JsonValue &V, SampleStats &Out) {
+  if (!V.isObject())
+    return false;
+  auto Num = [&V](const char *Key, double &Dst) {
+    const JsonValue *F = V.get(Key);
+    if (!F || !F->isNumber())
+      return false;
+    Dst = F->Number;
+    return true;
+  };
+  double N = 0;
+  if (!Num("n", N) || N < 0)
+    return false;
+  Out.N = static_cast<uint64_t>(N);
+  return Num("min", Out.Min) && Num("max", Out.Max) &&
+         Num("mean", Out.Mean) && Num("median", Out.Median) &&
+         Num("mad", Out.MAD) && Num("ciLow", Out.CiLow) &&
+         Num("ciHigh", Out.CiHigh);
+}

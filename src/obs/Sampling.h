@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Robust summary statistics for repeated timing measurements: median and
+/// MAD (median absolute deviation) as the location/scale pair, plus a
+/// bootstrap confidence interval on the median. The bench harnesses
+/// summarise each (program, config) timing sample with these and benchdiff
+/// flags a time regression only when the intervals separate — the
+/// noise-aware half of the regression gate (the deterministic half is the
+/// work-proxy counter comparison, which needs no statistics at all).
+///
+/// The bootstrap uses a fixed-seed splitmix64 generator so the same
+/// samples always produce the same interval — bench records must be
+/// reproducible byte-for-byte for baseline diffs to stay readable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_OBS_SAMPLING_H
+#define NASCENT_OBS_SAMPLING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace nascent {
+namespace obs {
+
+class JsonWriter;
+struct JsonValue;
+
+/// Summary of one sample of repeated measurements.
+struct SampleStats {
+  uint64_t N = 0;
+  double Min = 0;
+  double Max = 0;
+  double Mean = 0;
+  double Median = 0;
+  /// Median absolute deviation from the median (unscaled).
+  double MAD = 0;
+  /// 95 % bootstrap percentile interval on the median. Degenerates to
+  /// [Median, Median] for N == 1.
+  double CiLow = 0;
+  double CiHigh = 0;
+
+  /// {"n":...,"min":...,"max":...,"mean":...,"median":...,"mad":...,
+  ///  "ciLow":...,"ciHigh":...}
+  void writeJson(JsonWriter &W) const;
+
+  /// Reads the writeJson shape back; false when a field is missing or
+  /// mistyped.
+  static bool fromJson(const JsonValue &V, SampleStats &Out);
+};
+
+/// The median of \p Samples (by copy; the input order is not assumed).
+/// Zero for an empty sample.
+double median(std::vector<double> Samples);
+
+/// Summarises \p Samples with \p Resamples bootstrap draws for the median
+/// interval. Deterministic for fixed inputs.
+SampleStats summarizeSamples(const std::vector<double> &Samples,
+                             unsigned Resamples = 200);
+
+} // namespace obs
+} // namespace nascent
+
+#endif // NASCENT_OBS_SAMPLING_H

@@ -72,6 +72,64 @@ void StatRegistry::resetAll() {
     H->reset();
 }
 
+StatSnapshot StatRegistry::snapshot() const {
+  StatSnapshot S;
+  for (const auto &[Name, C] : Counters)
+    S.Counters[Name] = C->value();
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges[Name] = G.Read();
+  for (const auto &[Name, H] : Histograms)
+    S.Histograms[Name] = StatSnapshot::HistogramState{H->count(), H->sum()};
+  return S;
+}
+
+namespace {
+
+uint64_t monotoneDelta(uint64_t After, uint64_t Before) {
+  return After > Before ? After - Before : 0;
+}
+
+} // namespace
+
+StatSnapshot::FlatMap
+StatSnapshot::deltaFrom(const StatSnapshot &Before) const {
+  FlatMap Out;
+  auto Emit = [&Out](const std::string &Key, uint64_t After, uint64_t Prev) {
+    if (uint64_t D = monotoneDelta(After, Prev))
+      Out[Key] = D;
+  };
+  auto PrevOf = [](const std::map<std::string, uint64_t> &M,
+                   const std::string &Key) {
+    auto It = M.find(Key);
+    return It == M.end() ? uint64_t(0) : It->second;
+  };
+  for (const auto &[Name, V] : Counters)
+    Emit(Name, V, PrevOf(Before.Counters, Name));
+  for (const auto &[Name, V] : Gauges)
+    Emit(Name, V, PrevOf(Before.Gauges, Name));
+  for (const auto &[Name, H] : Histograms) {
+    auto It = Before.Histograms.find(Name);
+    HistogramState Prev =
+        It == Before.Histograms.end() ? HistogramState{} : It->second;
+    Emit(Name + ".count", H.Count, Prev.Count);
+    Emit(Name + ".sum", H.Sum, Prev.Sum);
+  }
+  return Out;
+}
+
+StatSnapshot::FlatMap StatSnapshot::flatten() const {
+  FlatMap Out;
+  for (const auto &[Name, V] : Counters)
+    Out[Name] = V;
+  for (const auto &[Name, V] : Gauges)
+    Out[Name] = V;
+  for (const auto &[Name, H] : Histograms) {
+    Out[Name + ".count"] = H.Count;
+    Out[Name + ".sum"] = H.Sum;
+  }
+  return Out;
+}
+
 void StatRegistry::print(std::ostream &OS) const {
   for (const auto &[Name, C] : Counters) {
     if (C->value() == 0)

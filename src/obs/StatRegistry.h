@@ -92,6 +92,42 @@ private:
   uint64_t Buckets[NumBuckets] = {};
 };
 
+/// A point-in-time copy of every registered stat's value. Snapshots make
+/// process-wide (monotonically accumulating) stats usable per interval:
+/// take one before and one after a region and `deltaFrom` yields exactly
+/// the work done inside it. The bench repetition driver relies on this so
+/// `--reps N` reports per-rep counter values instead of N-fold
+/// accumulations.
+class StatSnapshot {
+public:
+  /// Histograms are summarised by their two monotone accumulators.
+  struct HistogramState {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+  };
+
+  /// Flat name -> value view: counters and gauges under their registered
+  /// names, histograms as "<name>.count" and "<name>.sum". This is the
+  /// shape the bench records embed as the "work" object and the shape
+  /// benchdiff compares exactly.
+  using FlatMap = std::map<std::string, uint64_t>;
+
+  /// The interval view: every stat's growth since \p Before, with
+  /// zero-growth entries omitted. Values that shrank (a reset between the
+  /// snapshots) saturate to zero rather than wrapping.
+  FlatMap deltaFrom(const StatSnapshot &Before) const;
+
+  /// The raw absolute values, same key scheme as deltaFrom.
+  FlatMap flatten() const;
+
+private:
+  friend class StatRegistry;
+
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, uint64_t> Gauges;
+  std::map<std::string, HistogramState> Histograms;
+};
+
 /// The process-wide registry. Lookup by name interns the stat; references
 /// returned remain valid for the process lifetime, which is what lets the
 /// NASCENT_STAT macros bind a namespace-scope reference once.
@@ -112,6 +148,11 @@ public:
   /// Zeroes every counter and histogram (gauges read external state and
   /// are left alone). Benchmarks and tests use this to measure deltas.
   void resetAll();
+
+  /// Captures every current value (gauges are read now). Prefer snapshot
+  /// pairs over resetAll() for interval measurement: snapshots compose
+  /// with nesting and never disturb other observers of the registry.
+  StatSnapshot snapshot() const;
 
   /// Renders every stat as "  <value>  <name>  (<desc>)" lines, sorted by
   /// name, skipping zero-valued counters (LLVM -stats style).

@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The work-proxy counters are the deterministic half of the perf
+/// regression gate: benchdiff compares them exactly, so two optimizations
+/// of the same program must produce bit-identical StatRegistry deltas.
+/// This test compiles a suite program twice per placement scheme in one
+/// process and asserts exactly that. A scheme whose counters depend on
+/// iteration order, pointer values, or leftover state from a previous run
+/// fails here before it can make the bench gate flaky.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "obs/StatRegistry.h"
+#include "suite/Suite.h"
+
+#include "gtest/gtest.h"
+
+using namespace nascent;
+
+namespace {
+
+/// One compile+optimize bracketed in registry snapshots.
+obs::StatSnapshot::FlatMap compileDelta(const SuiteProgram &P,
+                                        PlacementScheme Scheme) {
+  PipelineOptions PO;
+  PO.Opt.Scheme = Scheme;
+  obs::StatSnapshot Before = obs::StatRegistry::global().snapshot();
+  CompileResult R = compileSource(P.Source, PO);
+  EXPECT_TRUE(R.Success) << P.Name;
+  return obs::StatRegistry::global().snapshot().deltaFrom(Before);
+}
+
+TEST(Determinism, WorkProxyDeltasAreBitIdenticalAcrossSchemes) {
+  const PlacementScheme Schemes[] = {
+      PlacementScheme::NI,  PlacementScheme::CS,  PlacementScheme::LNI,
+      PlacementScheme::SE,  PlacementScheme::LI,  PlacementScheme::LLS,
+      PlacementScheme::ALL, PlacementScheme::MCM, PlacementScheme::AI};
+
+  const SuiteProgram *P = findSuiteProgram("vortex");
+  ASSERT_NE(P, nullptr);
+
+  // One warmup compile so lazily-interned stats and other one-time
+  // initialisation cannot show up as a first-run-only delta.
+  compileDelta(*P, PlacementScheme::NI);
+
+  for (PlacementScheme Scheme : Schemes) {
+    obs::StatSnapshot::FlatMap First = compileDelta(*P, Scheme);
+    obs::StatSnapshot::FlatMap Second = compileDelta(*P, Scheme);
+    EXPECT_FALSE(First.empty()) << placementSchemeName(Scheme);
+    EXPECT_EQ(First, Second) << placementSchemeName(Scheme);
+  }
+}
+
+TEST(Determinism, SchemesAreDistinguishedByTheirDeltas) {
+  // Sanity on the signal itself: the per-scheme counters must record
+  // which scheme ran, otherwise the bench records could not attribute
+  // work to configurations.
+  const SuiteProgram *P = findSuiteProgram("vortex");
+  ASSERT_NE(P, nullptr);
+  obs::StatSnapshot::FlatMap NI = compileDelta(*P, PlacementScheme::NI);
+  obs::StatSnapshot::FlatMap LLS = compileDelta(*P, PlacementScheme::LLS);
+  EXPECT_TRUE(NI.count("opt.scheme.NI"));
+  EXPECT_TRUE(LLS.count("opt.scheme.LLS"));
+  EXPECT_FALSE(LLS.count("opt.scheme.NI"));
+}
+
+TEST(Determinism, DeltaIgnoresUnrelatedPriorWork) {
+  // The snapshot delta must isolate the bracketed region: two deltas of
+  // the same work are identical even when other compiles ran in between.
+  const SuiteProgram *P = findSuiteProgram("vortex");
+  ASSERT_NE(P, nullptr);
+  obs::StatSnapshot::FlatMap First = compileDelta(*P, PlacementScheme::SE);
+  compileDelta(*P, PlacementScheme::ALL); // unrelated interleaved work
+  obs::StatSnapshot::FlatMap Second = compileDelta(*P, PlacementScheme::SE);
+  EXPECT_EQ(First, Second);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the robust timing statistics (obs/Sampling.h): median/MAD,
+/// the bootstrap interval's determinism, and the JSON round-trip that the
+/// bench baselines depend on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Sampling.h"
+
+#include "gtest/gtest.h"
+
+using namespace nascent;
+using namespace nascent::obs;
+
+namespace {
+
+TEST(Sampling, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Sampling, SummaryFields) {
+  SampleStats S = summarizeSamples({2.0, 1.0, 4.0, 3.0, 10.0});
+  EXPECT_EQ(S.N, 5u);
+  EXPECT_DOUBLE_EQ(S.Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Max, 10.0);
+  EXPECT_DOUBLE_EQ(S.Mean, 4.0);
+  EXPECT_DOUBLE_EQ(S.Median, 3.0);
+  // |x - 3| = {1, 2, 1, 0, 7} -> median 1.
+  EXPECT_DOUBLE_EQ(S.MAD, 1.0);
+  EXPECT_LE(S.CiLow, S.Median);
+  EXPECT_GE(S.CiHigh, S.Median);
+}
+
+TEST(Sampling, SingleSampleDegenerateInterval) {
+  SampleStats S = summarizeSamples({0.25});
+  EXPECT_EQ(S.N, 1u);
+  EXPECT_DOUBLE_EQ(S.Median, 0.25);
+  EXPECT_DOUBLE_EQ(S.MAD, 0.0);
+  EXPECT_DOUBLE_EQ(S.CiLow, 0.25);
+  EXPECT_DOUBLE_EQ(S.CiHigh, 0.25);
+}
+
+TEST(Sampling, BootstrapIsDeterministic) {
+  std::vector<double> Samples = {1.0, 1.1, 0.9, 1.05, 0.95, 1.2, 0.8};
+  SampleStats A = summarizeSamples(Samples);
+  SampleStats B = summarizeSamples(Samples);
+  EXPECT_DOUBLE_EQ(A.CiLow, B.CiLow);
+  EXPECT_DOUBLE_EQ(A.CiHigh, B.CiHigh);
+  // The interval brackets the median and is not wider than the range.
+  EXPECT_GE(A.CiLow, A.Min);
+  EXPECT_LE(A.CiHigh, A.Max);
+  EXPECT_LE(A.CiLow, A.Median);
+  EXPECT_GE(A.CiHigh, A.Median);
+}
+
+TEST(Sampling, JsonRoundTrip) {
+  SampleStats S = summarizeSamples({0.5, 0.7, 0.6, 0.55, 0.65});
+  JsonWriter W;
+  S.writeJson(W);
+
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(W.str(), V, &Err)) << Err;
+  SampleStats R;
+  ASSERT_TRUE(SampleStats::fromJson(V, R));
+  EXPECT_EQ(R.N, S.N);
+  EXPECT_DOUBLE_EQ(R.Min, S.Min);
+  EXPECT_DOUBLE_EQ(R.Max, S.Max);
+  EXPECT_DOUBLE_EQ(R.Mean, S.Mean);
+  EXPECT_DOUBLE_EQ(R.Median, S.Median);
+  EXPECT_DOUBLE_EQ(R.MAD, S.MAD);
+  EXPECT_DOUBLE_EQ(R.CiLow, S.CiLow);
+  EXPECT_DOUBLE_EQ(R.CiHigh, S.CiHigh);
+}
+
+TEST(Sampling, FromJsonRejectsMissingField) {
+  JsonValue V;
+  ASSERT_TRUE(parseJson(R"({"n":3,"min":1,"max":2})", V));
+  SampleStats S;
+  EXPECT_FALSE(SampleStats::fromJson(V, S));
+}
+
+} // namespace
