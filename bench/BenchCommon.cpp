@@ -1,11 +1,15 @@
 #include "BenchCommon.h"
 
+#include "driver/BatchCompiler.h"
 #include "obs/BenchSchema.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <map>
+#include <mutex>
 
 using namespace nascent;
 using namespace nascent::bench;
@@ -80,9 +84,10 @@ MeasuredRun nascent::bench::measureProgram(const SuiteProgram &Program,
 
 bool nascent::bench::parseBenchFlags(int Argc, char **Argv, BenchFlags &Out) {
   auto Usage = [Argv] {
-    std::fprintf(stderr,
-                 "usage: %s [--json] [--tiny] [--reps N] [--warmup N]\n",
-                 Argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s [--json] [--tiny] [--reps N] [--warmup N] [--jobs N]\n",
+        Argv[0]);
     return false;
   };
   for (int I = 1; I < Argc; ++I) {
@@ -100,6 +105,11 @@ bool nascent::bench::parseBenchFlags(int Argc, char **Argv, BenchFlags &Out) {
       if (N < 0)
         return Usage();
       Out.Warmup = static_cast<unsigned>(N);
+    } else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc) {
+      long N = std::atol(Argv[++I]);
+      if (N < 0)
+        return Usage();
+      Out.Jobs = resolveJobCount(static_cast<unsigned>(N));
     } else
       return Usage();
   }
@@ -163,11 +173,45 @@ void nascent::bench::writeRunJson(obs::JsonWriter &W, const char *Program,
   W.endObject();
 }
 
+std::vector<MeasuredRun>
+nascent::bench::sweepMeasure(const std::vector<SweepConfig> &Configs,
+                             const BenchFlags &Flags) {
+  std::vector<MeasuredRun> Out(Configs.size());
+  if (Flags.Jobs <= 1) {
+    for (size_t I = 0; I != Configs.size(); ++I) {
+      const SweepConfig &C = Configs[I];
+      Out[I] = measureProgram(C.Program, C.Source, /*Optimize=*/true,
+                              C.Scheme, C.Mode, Flags);
+    }
+    return Out;
+  }
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(Configs.size());
+  {
+    ThreadPool Pool(Flags.Jobs);
+    for (size_t I = 0; I != Configs.size(); ++I)
+      Futures.push_back(Pool.submit([&Out, &Configs, &Flags, I] {
+        const SweepConfig &C = Configs[I];
+        Out[I] = measureProgram(C.Program, C.Source, /*Optimize=*/true,
+                                C.Scheme, C.Mode, Flags);
+      }));
+    // Pool destruction drains the queue and joins every worker, flushing
+    // their stat shards, before any result is consumed.
+  }
+  for (std::future<void> &F : Futures)
+    F.get();
+  return Out;
+}
+
 const RunResult &nascent::bench::naiveBaseline(const SuiteProgram &Program,
                                                CheckSource Source) {
+  // Guarded so sweep workers can warm the cache concurrently; map nodes
+  // are stable, so returned references outlive the lock.
+  static std::mutex Mu;
   static std::map<std::pair<std::string, int>, RunResult> Cache;
   auto Key = std::make_pair(std::string(Program.Name),
                             static_cast<int>(Source));
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = Cache.find(Key);
   if (It != Cache.end())
     return It->second;

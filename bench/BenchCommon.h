@@ -62,12 +62,17 @@ struct MeasuredRun {
 /// table to one machine-readable JSON document on stdout; `--tiny` caps
 /// interpreter work for smoke runs (bench-smoke CTest label); `--reps N`
 /// measures each configuration N times (after `--warmup M` discarded
-/// runs) so the JSON carries confidence intervals worth gating on.
+/// runs) so the JSON carries confidence intervals worth gating on;
+/// `--jobs N` fans the configuration sweep across N worker threads
+/// (0 = one per hardware thread). Work-proxy counters are identical for
+/// every job count; only the clocks move, which is why the perf gate
+/// pins its timing comparisons to serial runs.
 struct BenchFlags {
   bool Json = false;
   bool Tiny = false;
   unsigned Reps = 1;
   unsigned Warmup = 0;
+  unsigned Jobs = 1;
 };
 
 /// Parses argv for the common flags; returns false (after printing a
@@ -108,7 +113,24 @@ MeasuredRun measureProgram(const SuiteProgram &Program, CheckSource Source,
                            bool Optimize, PlacementScheme Scheme,
                            ImplicationMode Mode, const BenchFlags &Flags);
 
+/// One cell of a configuration sweep, ready to hand to sweepMeasure.
+struct SweepConfig {
+  SuiteProgram Program;
+  CheckSource Source = CheckSource::PRX;
+  PlacementScheme Scheme = PlacementScheme::NI;
+  ImplicationMode Mode = ImplicationMode::All;
+};
+
+/// Runs measureProgram for every config, fanned across Flags.Jobs worker
+/// threads (<= 1 runs serially on the calling thread), and returns the
+/// results in submission order. Every worker is joined before this
+/// returns, so a subsequent StatRegistry read sees all sweep work, and
+/// each result's work map is exactly what a serial run would report.
+std::vector<MeasuredRun> sweepMeasure(const std::vector<SweepConfig> &Configs,
+                                      const BenchFlags &Flags);
+
 /// Naive baseline (checks inserted, no optimization) for \p Source kind.
+/// Cached per (program, source); safe to call from sweep workers.
 const RunResult &naiveBaseline(const SuiteProgram &Program,
                                CheckSource Source);
 

@@ -42,14 +42,21 @@ int main(int argc, char **argv) {
     Header.push_back(P.Name);
   TextTable T(std::move(Header));
 
-  for (PlacementScheme S :
-       {PlacementScheme::AI, PlacementScheme::NI, PlacementScheme::MCM,
-        PlacementScheme::LI, PlacementScheme::LLS}) {
+  const PlacementScheme SchemeList[] = {
+      PlacementScheme::AI, PlacementScheme::NI, PlacementScheme::MCM,
+      PlacementScheme::LI, PlacementScheme::LLS};
+  std::vector<SweepConfig> Sweep;
+  for (PlacementScheme S : SchemeList)
+    for (const SuiteProgram &P : Suite)
+      Sweep.push_back({P, CheckSource::PRX, S, ImplicationMode::All});
+  std::vector<MeasuredRun> Measured = sweepMeasure(Sweep, Flags);
+
+  size_t Next = 0;
+  for (PlacementScheme S : SchemeList) {
     std::vector<std::string> Row = {placementSchemeName(S)};
     for (const SuiteProgram &P : Suite) {
       const RunResult &Naive = naiveBaseline(P, CheckSource::PRX);
-      MeasuredRun Opt = measureProgram(P, CheckSource::PRX, /*Optimize=*/true,
-                                       S, ImplicationMode::All, Flags);
+      const MeasuredRun &Opt = Measured[Next++];
       if (Flags.Json) {
         W.beginObject();
         W.kv("scheme", placementSchemeName(S));

@@ -38,7 +38,18 @@ int main(int argc, char **argv) {
                 "schemes, and compilation time\n\n");
   }
 
-  for (CheckSource Source : {CheckSource::PRX, CheckSource::INX}) {
+  // Measure the whole (source, scheme, program) matrix up front — fanned
+  // across --jobs workers — then emit rows from the ordered results.
+  const CheckSource Sources[] = {CheckSource::PRX, CheckSource::INX};
+  std::vector<SweepConfig> Configs;
+  for (CheckSource Source : Sources)
+    for (PlacementScheme Scheme : Schemes)
+      for (const SuiteProgram &P : Suite)
+        Configs.push_back({P, Source, Scheme, ImplicationMode::All});
+  std::vector<MeasuredRun> Measured = sweepMeasure(Configs, Flags);
+
+  size_t Next = 0;
+  for (CheckSource Source : Sources) {
     std::vector<std::string> Header = {"scheme"};
     for (const SuiteProgram &P : Suite)
       Header.push_back(P.Name);
@@ -51,8 +62,7 @@ int main(int argc, char **argv) {
       double RangeSecs = 0, TotalSecs = 0;
       for (const SuiteProgram &P : Suite) {
         const RunResult &Naive = naiveBaseline(P, Source);
-        MeasuredRun Opt = measureProgram(P, Source, /*Optimize=*/true,
-                                         Scheme, ImplicationMode::All, Flags);
+        const MeasuredRun &Opt = Measured[Next++];
         if (Flags.Json) {
           W.beginObject();
           W.kv("source", checkSourceName(Source));

@@ -12,8 +12,15 @@
 /// (both clocks, summed over the suite); `--json` emits the whole sweep
 /// as one machine-readable document instead.
 ///
+/// `--jobs N` fans the (program, scheme, mode) matrix across N worker
+/// threads via BatchCompiler (0 = one per hardware thread). Results are
+/// consumed in submission order and the job count is deliberately not
+/// echoed into the output, so findings, counters, and JSON are
+/// bit-identical across job counts (timing values aside).
+///
 //===----------------------------------------------------------------------===//
 
+#include "driver/BatchCompiler.h"
 #include "driver/Pipeline.h"
 #include "obs/BenchSchema.h"
 #include "obs/Json.h"
@@ -21,6 +28,7 @@
 #include "support/StringUtils.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 
@@ -53,11 +61,15 @@ struct ConfigTiming {
 
 int main(int argc, char **argv) {
   bool Json = false;
+  unsigned Jobs = 1;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0)
       Json = true;
+    else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc)
+      Jobs = resolveJobCount(
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10)));
     else {
-      std::fprintf(stderr, "usage: %s [--json]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json] [--jobs N]\n", argv[0]);
       return 2;
     }
   }
@@ -79,9 +91,15 @@ int main(int argc, char **argv) {
     W.beginArray();
   }
 
-  unsigned Runs = 0, Failures = 0;
-  AuditStats Total;
-  std::map<std::pair<std::string, std::string>, ConfigTiming> Timings;
+  // Build the job matrix in the canonical (program, scheme, mode) order;
+  // Keys[I] identifies Batch[I] when results come back in the same order.
+  struct RunKey {
+    const char *Program;
+    PlacementScheme Scheme;
+    ImplicationMode Mode;
+  };
+  std::vector<BatchJob> Batch;
+  std::vector<RunKey> Keys;
   for (const SuiteProgram &P : benchmarkSuite()) {
     for (PlacementScheme Scheme : Schemes) {
       for (ImplicationMode Mode : Modes) {
@@ -89,50 +107,61 @@ int main(int argc, char **argv) {
         PO.Opt.Scheme = Scheme;
         PO.Opt.Implications = Mode;
         PO.Audit = true;
-        CompileResult R = compileSource(P.Source, PO);
-        ++Runs;
-        if (!R.Success) {
-          std::fprintf(stderr, "audit_all: %s/%s: compile failed:\n%s\n",
-                       P.Name, placementSchemeName(Scheme),
-                       R.Diags.render().c_str());
-          ++Failures;
-          continue;
-        }
-        ConfigTiming &CT = Timings[{placementSchemeName(Scheme),
-                                    implicationModeName(Mode)}];
-        CT.OptimizeWall += R.optimizeWallSeconds();
-        CT.OptimizeCpu += R.optimizeCpuSeconds();
-        CT.TotalWall += R.totalWallSeconds();
-        CT.TotalCpu += R.totalCpuSeconds();
-        ++CT.Runs;
-        if (Json) {
-          W.beginObject();
-          W.kv("program", P.Name);
-          W.kv("scheme", placementSchemeName(Scheme));
-          W.kv("impl", implicationModeName(Mode));
-          W.kv("clean", R.Audit.clean());
-          W.key("stats");
-          R.Stats.writeJson(W);
-          W.key("phases");
-          W.beginArray();
-          for (const obs::PhaseTiming &Ph : R.Phases.Phases) {
-            W.beginObject();
-            W.kv("name", Ph.Name);
-            W.kv("wallSeconds", Ph.WallSeconds);
-            W.kv("cpuSeconds", Ph.CpuSeconds);
-            W.endObject();
-          }
-          W.endArray();
-          W.endObject();
-        }
-        Total += R.Audit.stats();
-        if (!R.Audit.clean()) {
-          std::fprintf(stderr, "audit_all: %s scheme=%s impl=%d FAILED\n%s",
-                       P.Name, placementSchemeName(Scheme),
-                       static_cast<int>(Mode), R.Audit.render().c_str());
-          ++Failures;
-        }
+        Batch.push_back({P.Source, PO});
+        Keys.push_back({P.Name, Scheme, Mode});
       }
+    }
+  }
+
+  std::vector<BatchJobResult> Results = BatchCompiler(Jobs).run(Batch);
+
+  unsigned Runs = 0, Failures = 0;
+  AuditStats Total;
+  std::map<std::pair<std::string, std::string>, ConfigTiming> Timings;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const RunKey &K = Keys[I];
+    const CompileResult &R = Results[I].Result;
+    ++Runs;
+    if (!R.Success) {
+      std::fprintf(stderr, "audit_all: %s/%s: compile failed:\n%s\n",
+                   K.Program, placementSchemeName(K.Scheme),
+                   R.Diags.render().c_str());
+      ++Failures;
+      continue;
+    }
+    ConfigTiming &CT = Timings[{placementSchemeName(K.Scheme),
+                                implicationModeName(K.Mode)}];
+    CT.OptimizeWall += R.optimizeWallSeconds();
+    CT.OptimizeCpu += R.optimizeCpuSeconds();
+    CT.TotalWall += R.totalWallSeconds();
+    CT.TotalCpu += R.totalCpuSeconds();
+    ++CT.Runs;
+    if (Json) {
+      W.beginObject();
+      W.kv("program", K.Program);
+      W.kv("scheme", placementSchemeName(K.Scheme));
+      W.kv("impl", implicationModeName(K.Mode));
+      W.kv("clean", R.Audit.clean());
+      W.key("stats");
+      R.Stats.writeJson(W);
+      W.key("phases");
+      W.beginArray();
+      for (const obs::PhaseTiming &Ph : R.Phases.Phases) {
+        W.beginObject();
+        W.kv("name", Ph.Name);
+        W.kv("wallSeconds", Ph.WallSeconds);
+        W.kv("cpuSeconds", Ph.CpuSeconds);
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+    }
+    Total += R.Audit.stats();
+    if (!R.Audit.clean()) {
+      std::fprintf(stderr, "audit_all: %s scheme=%s impl=%d FAILED\n%s",
+                   K.Program, placementSchemeName(K.Scheme),
+                   static_cast<int>(K.Mode), R.Audit.render().c_str());
+      ++Failures;
     }
   }
 

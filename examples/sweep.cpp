@@ -1,0 +1,197 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// sweep: batch-compiles the whole (program, scheme, implication-mode)
+/// matrix through BatchCompiler and summarises what each configuration
+/// did — static checks left in the IR, checks eliminated/hoisted, and the
+/// per-job work-proxy counters the batch engine captures (bit-vector word
+/// ops, dataflow block visits, CIG edges). It is the smallest driver that
+/// exercises the parallel compilation path end to end:
+///
+///   sweep --jobs 8          # fan the matrix across 8 workers
+///   sweep --jobs 0          # one worker per hardware thread
+///   sweep --json            # machine-readable document on stdout
+///
+/// Results are consumed in submission order and no job count is echoed
+/// into the document, so the output is bit-identical for every --jobs
+/// value (timing columns aside) — the same determinism contract
+/// audit_all relies on (docs/parallelism.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchCompiler.h"
+#include "interp/Interpreter.h"
+#include "obs/BenchSchema.h"
+#include "obs/Json.h"
+#include "suite/Suite.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+using namespace nascent;
+
+namespace {
+
+const char *implicationModeName(ImplicationMode M) {
+  switch (M) {
+  case ImplicationMode::All:
+    return "all";
+  case ImplicationMode::CrossFamilyOnly:
+    return "cross";
+  case ImplicationMode::None:
+    return "none";
+  }
+  return "?";
+}
+
+/// Accumulated results of one (scheme, mode) configuration over the suite.
+struct ConfigSummary {
+  uint64_t StaticChecks = 0;
+  uint64_t Deleted = 0;
+  uint64_t Inserted = 0;
+  uint64_t WordOps = 0;
+  double OptimizeWall = 0;
+  double OptimizeCpu = 0;
+  unsigned Runs = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Json = false;
+  unsigned Jobs = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc)
+      Jobs = resolveJobCount(
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10)));
+    else {
+      std::fprintf(stderr, "usage: %s [--json] [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const PlacementScheme Schemes[] = {
+      PlacementScheme::NI,  PlacementScheme::CS,  PlacementScheme::LNI,
+      PlacementScheme::SE,  PlacementScheme::LI,  PlacementScheme::LLS,
+      PlacementScheme::ALL, PlacementScheme::MCM, PlacementScheme::AI};
+  const ImplicationMode Modes[] = {ImplicationMode::All,
+                                   ImplicationMode::CrossFamilyOnly,
+                                   ImplicationMode::None};
+
+  struct RunKey {
+    const char *Program;
+    PlacementScheme Scheme;
+    ImplicationMode Mode;
+  };
+  std::vector<BatchJob> Batch;
+  std::vector<RunKey> Keys;
+  for (const SuiteProgram &P : benchmarkSuite()) {
+    for (PlacementScheme Scheme : Schemes) {
+      for (ImplicationMode Mode : Modes) {
+        PipelineOptions PO;
+        PO.Opt.Scheme = Scheme;
+        PO.Opt.Implications = Mode;
+        Batch.push_back({P.Source, PO});
+        Keys.push_back({P.Name, Scheme, Mode});
+      }
+    }
+  }
+
+  std::vector<BatchJobResult> Results = BatchCompiler(Jobs).run(Batch);
+
+  obs::JsonWriter W;
+  if (Json) {
+    W.beginObject();
+    W.kv("schemaVersion", obs::BenchSchemaVersion);
+    W.kv("tool", "sweep");
+    W.key("runs");
+    W.beginArray();
+  }
+
+  unsigned Failures = 0;
+  std::map<std::pair<std::string, std::string>, ConfigSummary> Summaries;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const RunKey &K = Keys[I];
+    const CompileResult &R = Results[I].Result;
+    if (!R.Success) {
+      std::fprintf(stderr, "sweep: %s/%s: compile failed:\n%s\n", K.Program,
+                   placementSchemeName(K.Scheme), R.Diags.render().c_str());
+      ++Failures;
+      continue;
+    }
+    ConfigSummary &S = Summaries[{placementSchemeName(K.Scheme),
+                                  implicationModeName(K.Mode)}];
+    StaticCounts SC = countStatic(*R.M);
+    S.StaticChecks += SC.Checks;
+    S.Deleted += R.Stats.ChecksDeleted;
+    S.Inserted += R.Stats.ChecksInserted;
+    auto WordOps = Results[I].Work.find("support.bitvector.word_ops");
+    if (WordOps != Results[I].Work.end())
+      S.WordOps += WordOps->second;
+    S.OptimizeWall += R.optimizeWallSeconds();
+    S.OptimizeCpu += R.optimizeCpuSeconds();
+    ++S.Runs;
+    if (Json) {
+      W.beginObject();
+      W.kv("program", K.Program);
+      W.kv("scheme", placementSchemeName(K.Scheme));
+      W.kv("impl", implicationModeName(K.Mode));
+      W.kv("staticChecks", SC.Checks);
+      W.key("stats");
+      R.Stats.writeJson(W);
+      W.key("work");
+      W.beginObject();
+      for (const auto &[Name, V] : Results[I].Work)
+        W.kv(Name, V);
+      W.endObject();
+      W.endObject();
+    }
+  }
+
+  if (Json) {
+    W.endArray();
+    W.kv("runs", static_cast<uint64_t>(Results.size()));
+    W.kv("failures", Failures);
+    W.key("configs");
+    W.beginArray();
+    for (const auto &[Key, S] : Summaries) {
+      W.beginObject();
+      W.kv("scheme", Key.first);
+      W.kv("impl", Key.second);
+      W.kv("staticChecks", S.StaticChecks);
+      W.kv("deleted", S.Deleted);
+      W.kv("inserted", S.Inserted);
+      W.kv("wordOps", S.WordOps);
+      W.kv("optimizeWallSeconds", S.OptimizeWall);
+      W.kv("optimizeCpuSeconds", S.OptimizeCpu);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    return Failures ? 1 : 0;
+  }
+
+  std::printf("sweep: %zu compilations, %u failures\n\n", Results.size(),
+              Failures);
+  TextTable T({"scheme", "impl", "static", "deleted", "inserted", "word ops",
+               "opt wall", "opt cpu"});
+  for (const auto &[Key, S] : Summaries)
+    T.addRow({Key.first, Key.second,
+              formatString("%llu",
+                           static_cast<unsigned long long>(S.StaticChecks)),
+              formatString("%llu", static_cast<unsigned long long>(S.Deleted)),
+              formatString("%llu",
+                           static_cast<unsigned long long>(S.Inserted)),
+              formatString("%llu", static_cast<unsigned long long>(S.WordOps)),
+              formatString("%.3f", S.OptimizeWall),
+              formatString("%.3f", S.OptimizeCpu)});
+  std::printf("%s", T.render().c_str());
+  return Failures ? 1 : 0;
+}

@@ -1,7 +1,7 @@
 #include "checks/CheckImplicationGraph.h"
 
 #include <algorithm>
-#include <queue>
+#include <deque>
 
 using namespace nascent;
 
@@ -16,64 +16,91 @@ void CheckImplicationGraph::addFamilyEdge(FamilyID From, FamilyID To,
                                           int64_t Weight) {
   if (From == To)
     return; // within-family strength is the bound order, not an edge
-  auto &Out = Edges[From];
-  auto It = Out.find(To);
-  if (It == Out.end())
-    Out.emplace(To, Weight);
-  else
-    It->second = std::min(It->second, Weight);
-  PathMemo.clear();
+  if (Edges.size() <= From)
+    Edges.resize(From + 1);
+  std::vector<Edge> &Out = Edges[From];
+  auto It = std::lower_bound(
+      Out.begin(), Out.end(), To,
+      [](const Edge &E, FamilyID Target) { return E.To < Target; });
+  if (It != Out.end() && It->To == To) {
+    if (Weight >= It->W)
+      return; // no edge got cheaper; every cached row stays exact
+    It->W = Weight;
+  } else {
+    Out.insert(It, Edge{To, Weight});
+    ++EdgeCount;
+  }
+  MaxNode = std::max({MaxNode, size_t(From) + 1, size_t(To) + 1});
+
+  // Invalidate only the cached rows this edge can actually improve: a row
+  // rooted at S is affected iff S reaches From and relaxing From->To would
+  // shorten S's distance to To. Everything else keeps its memo (the
+  // previous implementation cleared the whole memo per insert).
+  for (DistRow &Row : Rows) {
+    if (!Row.Valid)
+      continue;
+    int64_t DF = distOf(Row, From);
+    if (DF == Unreachable)
+      continue;
+    int64_t DT = distOf(Row, To);
+    if (DT == Unreachable || DF + Weight < DT)
+      Row.Valid = false;
+  }
 }
 
-const std::map<FamilyID, int64_t> &
+const std::vector<int64_t> &
 CheckImplicationGraph::shortestFrom(FamilyID From) const {
-  if (MemoGeneration != U.generation()) {
-    // New checks may have created new families; distances over families
-    // do not change, but clear anyway to stay simple and correct.
-    PathMemo.clear();
-    MemoGeneration = U.generation();
-  }
-  auto It = PathMemo.find(From);
-  if (It != PathMemo.end())
-    return It->second;
+  if (Rows.size() <= From)
+    Rows.resize(From + 1);
+  DistRow &Row = Rows[From];
+  if (Row.Valid)
+    return Row.Dist;
 
   // Dijkstra does not handle negative weights; implication edges can be
   // negative (a check can imply a *stronger-constant* check in another
   // family). Use label-correcting search with a visit cap as a safeguard
-  // against (unsound, never constructed) negative cycles.
-  std::map<FamilyID, int64_t> Dist;
-  Dist[From] = 0;
-  std::queue<FamilyID> Work;
-  Work.push(From);
+  // against (unsound, never constructed) negative cycles. The node space
+  // covers every family the universe knows plus any id an edge mentions
+  // (edges may pre-date the families they connect).
+  size_t NumNodes =
+      std::max({U.numFamilies(), MaxNode, size_t(From) + 1});
+  Row.Dist.assign(NumNodes, Unreachable);
+  Row.Dist[From] = 0;
+  std::deque<FamilyID> Work;
+  Work.push_back(From);
+  DenseBitVector InQueue(NumNodes);
+  InQueue.set(From);
   size_t Steps = 0;
-  const size_t MaxSteps = (U.numFamilies() + 1) * (numEdges() + 1) + 16;
+  const size_t MaxSteps = (NumNodes + 1) * (EdgeCount + 1) + 16;
   while (!Work.empty() && Steps++ < MaxSteps) {
     FamilyID F = Work.front();
-    Work.pop();
-    auto EIt = Edges.find(F);
-    if (EIt == Edges.end())
+    Work.pop_front();
+    InQueue.reset(F);
+    if (F >= Edges.size())
       continue;
-    int64_t DF = Dist[F];
-    for (const auto &[To, W] : EIt->second) {
-      auto DIt = Dist.find(To);
-      if (DIt == Dist.end() || DF + W < DIt->second) {
-        Dist[To] = DF + W;
-        Work.push(To);
+    int64_t DF = Row.Dist[F];
+    for (const Edge &E : Edges[F]) {
+      if (DF + E.W < Row.Dist[E.To]) {
+        Row.Dist[E.To] = DF + E.W;
+        if (!InQueue.test(E.To)) {
+          InQueue.set(E.To);
+          Work.push_back(E.To);
+        }
       }
     }
   }
-  return PathMemo.emplace(From, std::move(Dist)).first->second;
+  Row.Valid = true;
+  return Row.Dist;
 }
 
 std::optional<int64_t> CheckImplicationGraph::pathWeight(FamilyID From,
                                                          FamilyID To) const {
   if (From == To)
     return 0;
-  const auto &Dist = shortestFrom(From);
-  auto It = Dist.find(To);
-  if (It == Dist.end())
+  const std::vector<int64_t> &Dist = shortestFrom(From);
+  if (To >= Dist.size() || Dist[To] == Unreachable)
     return std::nullopt;
-  return It->second;
+  return Dist[To];
 }
 
 bool CheckImplicationGraph::isAsStrongAs(CheckID Ci, CheckID Cj) const {
@@ -112,12 +139,16 @@ void CheckImplicationGraph::weakerClosure(CheckID C,
         Out.set(M);
   }
 
-  // Cross family: members reachable with accumulated weight.
-  const auto &Dist = shortestFrom(FI);
-  for (const auto &[FJ, W] : Dist) {
-    if (FJ == FI)
+  // Cross family: members reachable with accumulated weight. Dist may
+  // cover edge-referenced ids beyond the interned families; those have no
+  // members yet, so the scan stops at the universe's family count.
+  const std::vector<int64_t> &Dist = shortestFrom(FI);
+  for (size_t FJ = 0, E = std::min(Dist.size(), U.numFamilies());
+       FJ != E; ++FJ) {
+    int64_t W = Dist[FJ];
+    if (W == Unreachable || FJ == FI)
       continue;
-    for (CheckID M : U.familyMembers(FJ))
+    for (CheckID M : U.familyMembers(static_cast<FamilyID>(FJ)))
       if (BoundC + W <= U.check(M).bound())
         Out.set(M);
   }
@@ -135,13 +166,4 @@ void CheckImplicationGraph::weakerClosureSameFamily(
   for (CheckID M : U.familyMembers(FI))
     if (U.check(M).bound() >= BoundC)
       Out.set(M);
-}
-
-size_t CheckImplicationGraph::numEdges() const {
-  size_t N = 0;
-  for (const auto &[From, Out] : Edges) {
-    (void)From;
-    N += Out.size();
-  }
-  return N;
 }

@@ -17,7 +17,8 @@
 #include "support/DenseBitVector.h"
 
 #include <cstdint>
-#include <map>
+#include <limits>
+#include <optional>
 #include <vector>
 
 namespace nascent {
@@ -65,30 +66,76 @@ public:
   /// keeps insertion points sound).
   void weakerClosureSameFamily(CheckID C, DenseBitVector &Out) const;
 
-  size_t numEdges() const;
+  /// Visits every family reachable from \p From (excluding \p From) as
+  /// Fn(To, Weight) with its minimal accumulated path weight, targets
+  /// ascending. This is the backing for batch closure construction
+  /// (opt/CheckContext), which shares one reachability scan across all of
+  /// a family's members.
+  template <typename CallableT>
+  void forEachReachable(FamilyID From, CallableT Fn) const {
+    const std::vector<int64_t> &Dist = shortestFrom(From);
+    size_t E = std::min(Dist.size(), U.numFamilies());
+    for (size_t To = 0; To != E; ++To)
+      if (To != From && Dist[To] != Unreachable)
+        Fn(static_cast<FamilyID>(To), Dist[To]);
+  }
 
-  /// Visits every stored edge as Fn(From, To, Weight). The consistency
-  /// lint uses this to validate the graph's global shape (no negative
-  /// asymmetry) without widening the mutation API.
+  size_t numEdges() const { return EdgeCount; }
+
+  /// Visits every stored edge as Fn(From, To, Weight), sources ascending
+  /// and targets ascending within a source. The consistency lint uses
+  /// this to validate the graph's global shape (no negative asymmetry)
+  /// without widening the mutation API.
   template <typename CallableT> void forEachEdge(CallableT Fn) const {
-    for (const auto &[From, Targets] : Edges)
-      for (const auto &[To, W] : Targets)
-        Fn(From, To, W);
+    for (size_t From = 0, E = Edges.size(); From != E; ++From)
+      for (const Edge &Ed : Edges[From])
+        Fn(static_cast<FamilyID>(From), Ed.To, Ed.W);
   }
 
 private:
-  /// Shortest path weights from \p From via Bellman-Ford (weights can be
-  /// negative; implication graphs are small and cycles with negative total
-  /// weight cannot arise from sound implications — guarded anyway).
-  const std::map<FamilyID, int64_t> &shortestFrom(FamilyID From) const;
+  /// One adjacency entry; the per-source vectors stay sorted by To.
+  struct Edge {
+    FamilyID To;
+    int64_t W;
+  };
+
+  /// Sentinel distance for "no path".
+  static constexpr int64_t Unreachable =
+      std::numeric_limits<int64_t>::max();
+
+  /// A cached single-source shortest-path row. Dist is indexed by target
+  /// family and sized to the family count at computation time; targets
+  /// past the end are unreachable (new families have no in-edges until an
+  /// addFamilyEdge invalidates the rows it can improve), so family growth
+  /// alone never stales a row.
+  struct DistRow {
+    bool Valid = false;
+    std::vector<int64_t> Dist;
+  };
+
+  /// Shortest path weights from \p From via label-correcting search
+  /// (weights can be negative; implication graphs are small and cycles
+  /// with negative total weight cannot arise from sound implications —
+  /// guarded anyway).
+  const std::vector<int64_t> &shortestFrom(FamilyID From) const;
+
+  /// Row lookup helper honouring the short-Dist convention.
+  static int64_t distOf(const DistRow &Row, FamilyID To) {
+    return To < Row.Dist.size() ? Row.Dist[To] : Unreachable;
+  }
 
   const CheckUniverse &U;
   ImplicationMode Mode;
-  /// Adjacency: per source family, target -> min weight.
-  std::map<FamilyID, std::map<FamilyID, int64_t>> Edges;
+  /// Adjacency indexed by source family (dense; slots past the last
+  /// source with out-edges simply do not exist yet).
+  std::vector<std::vector<Edge>> Edges;
+  size_t EdgeCount = 0;
+  /// One past the largest family id any edge references; the distance
+  /// rows' node space must cover it even before those families intern.
+  size_t MaxNode = 0;
 
-  mutable std::map<FamilyID, std::map<FamilyID, int64_t>> PathMemo;
-  mutable uint64_t MemoGeneration = 0;
+  /// Cached rows indexed by source family.
+  mutable std::vector<DistRow> Rows;
 };
 
 } // namespace nascent

@@ -1,0 +1,53 @@
+#include "driver/BatchCompiler.h"
+
+#include "support/ThreadPool.h"
+
+#include <future>
+
+using namespace nascent;
+
+namespace {
+
+/// Compiles one job on the calling thread, bracketing it in a snapshot
+/// pair so Work holds exactly this job's stat growth. On a worker thread
+/// the snapshots see the stable merged base plus the worker's own shard;
+/// on the main thread (serial mode) they see base plus the main shard —
+/// either way the delta is the job's own work, bit-identical across
+/// --jobs values.
+BatchJobResult runOne(const BatchJob &Job) {
+  BatchJobResult R;
+  obs::StatSnapshot Before = obs::StatRegistry::global().snapshot();
+  R.Result = compileSource(Job.Source, Job.Opts);
+  R.Work = obs::StatRegistry::global().snapshot().deltaFrom(Before);
+  return R;
+}
+
+} // namespace
+
+std::vector<BatchJobResult>
+BatchCompiler::run(const std::vector<BatchJob> &Batch) const {
+  std::vector<BatchJobResult> Results(Batch.size());
+  if (NumJobs <= 1) {
+    for (size_t I = 0, E = Batch.size(); I != E; ++I)
+      Results[I] = runOne(Batch[I]);
+    return Results;
+  }
+
+  std::vector<std::future<void>> Pending;
+  Pending.reserve(Batch.size());
+  {
+    ThreadPool Pool(NumJobs);
+    for (size_t I = 0, E = Batch.size(); I != E; ++I)
+      Pending.push_back(Pool.submit(
+          [&Results, &Batch, I] { Results[I] = runOne(Batch[I]); }));
+    // The pool destructor drains and joins here, flushing every worker's
+    // stat shard — run() returns with the registry quiescent and exact.
+  }
+  for (std::future<void> &F : Pending)
+    F.get();
+  return Results;
+}
+
+unsigned nascent::resolveJobCount(unsigned Requested) {
+  return Requested == 0 ? ThreadPool::defaultWorkers() : Requested;
+}

@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batch compilation: fan a vector of (source, PipelineOptions) jobs
+/// across a ThreadPool and return the results in submission order. This
+/// is the engine behind `audit_all --jobs N`, the bench suite sweeps, and
+/// the `sweep` example.
+///
+/// Determinism contract (docs/parallelism.md): each job is a pure
+/// function of its (source, options) pair — compileSource shares no
+/// mutable state between jobs except the monotone StatRegistry — so the
+/// per-job results are identical for every job count. Each job's stat
+/// delta is captured with a snapshot pair on the executing thread, which
+/// sees exactly the merged base (stable while the pool runs) plus its own
+/// work; the pool is joined before run() returns, so both the per-job
+/// "work" maps and any post-run registry read are bit-identical to a
+/// serial run of the same jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_DRIVER_BATCHCOMPILER_H
+#define NASCENT_DRIVER_BATCHCOMPILER_H
+
+#include "driver/Pipeline.h"
+#include "obs/StatRegistry.h"
+
+#include <string>
+#include <vector>
+
+namespace nascent {
+
+/// One compilation job: a source program plus its pipeline configuration.
+struct BatchJob {
+  std::string Source;
+  PipelineOptions Opts;
+};
+
+/// The outcome of one job.
+struct BatchJobResult {
+  CompileResult Result;
+  /// The job's exact StatRegistry growth (work-proxy counters, histogram
+  /// count/sum pairs, bit-vector ops), captured on the executing thread.
+  obs::StatSnapshot::FlatMap Work;
+};
+
+/// Runs batches of compilation jobs over \p Jobs worker threads.
+class BatchCompiler {
+public:
+  /// \p Jobs <= 1 compiles serially on the calling thread (no pool);
+  /// otherwise a fresh ThreadPool of \p Jobs workers is created per run()
+  /// and joined before it returns.
+  explicit BatchCompiler(unsigned Jobs = 1) : NumJobs(Jobs ? Jobs : 1) {}
+
+  unsigned jobs() const { return NumJobs; }
+
+  /// Compiles every job and returns the results in submission order. A
+  /// job that throws (out-of-memory and the like — compile *errors* are
+  /// reported via CompileResult::Diags, not exceptions) rethrows here,
+  /// after every worker has been joined.
+  std::vector<BatchJobResult> run(const std::vector<BatchJob> &Batch) const;
+
+private:
+  unsigned NumJobs;
+};
+
+/// Maps a --jobs flag value to a worker count: 0 means "auto" (the
+/// hardware concurrency), anything else is taken literally.
+unsigned resolveJobCount(unsigned Requested);
+
+} // namespace nascent
+
+#endif // NASCENT_DRIVER_BATCHCOMPILER_H

@@ -4,10 +4,76 @@
 #include "support/DenseBitVector.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
+#include <mutex>
+
 using namespace nascent;
 using namespace nascent::obs;
 
-void Histogram::record(uint64_t V) {
+/// Per-thread stat storage. Slot I belongs to the stat registered with
+/// dense index I; a missing slot means "no events on this thread yet".
+/// The destructor runs at thread exit, after the thread's last stat
+/// event, and folds the shard into the merged bases.
+struct StatRegistry::ThreadShard {
+  std::vector<uint64_t> Counters;
+  std::vector<Histogram::State> Histograms;
+
+  ~ThreadShard() { StatRegistry::global().flushShard(*this); }
+};
+
+namespace {
+
+/// Guards the registry maps, every stat's merged base, and gauge reads.
+/// Leaked (like the registry itself) so thread-exit flushes that race
+/// with process shutdown never touch a destroyed mutex.
+std::mutex &statMutex() {
+  static std::mutex *Mu = new std::mutex;
+  return *Mu;
+}
+
+} // namespace
+
+StatRegistry::ThreadShard &StatRegistry::localShard() {
+  static thread_local ThreadShard S;
+  return S;
+}
+
+void StatRegistry::flushShard(ThreadShard &S) {
+  std::lock_guard<std::mutex> L(statMutex());
+  for (size_t I = 0, E = S.Counters.size(); I != E; ++I)
+    if (S.Counters[I])
+      CountersByIdx[I]->Base += S.Counters[I];
+  for (size_t I = 0, E = S.Histograms.size(); I != E; ++I)
+    if (S.Histograms[I].Count)
+      HistogramsByIdx[I]->Base.merge(S.Histograms[I]);
+  S.Counters.clear();
+  S.Histograms.clear();
+  DenseBitVector::retireThreadOps();
+}
+
+void Counter::add(uint64_t N) {
+  std::vector<uint64_t> &Slots = StatRegistry::localShard().Counters;
+  if (Slots.size() <= Idx)
+    Slots.resize(Idx + 1, 0);
+  Slots[Idx] += N;
+}
+
+uint64_t Counter::value() const {
+  const std::vector<uint64_t> &Slots = StatRegistry::localShard().Counters;
+  uint64_t Local = Idx < Slots.size() ? Slots[Idx] : 0;
+  std::lock_guard<std::mutex> L(statMutex());
+  return Base + Local;
+}
+
+void Counter::reset() {
+  std::vector<uint64_t> &Slots = StatRegistry::localShard().Counters;
+  if (Idx < Slots.size())
+    Slots[Idx] = 0;
+  std::lock_guard<std::mutex> L(statMutex());
+  Base = 0;
+}
+
+void Histogram::State::record(uint64_t V) {
   ++Count;
   Sum += V;
   if (V < Min)
@@ -18,13 +84,42 @@ void Histogram::record(uint64_t V) {
   ++Buckets[Bucket];
 }
 
+void Histogram::State::merge(const State &Other) {
+  Count += Other.Count;
+  Sum += Other.Sum;
+  if (Other.Min < Min)
+    Min = Other.Min;
+  if (Other.Max > Max)
+    Max = Other.Max;
+  for (size_t I = 0; I != NumBuckets; ++I)
+    Buckets[I] += Other.Buckets[I];
+}
+
+void Histogram::record(uint64_t V) {
+  std::vector<State> &Slots = StatRegistry::localShard().Histograms;
+  if (Slots.size() <= Idx)
+    Slots.resize(Idx + 1);
+  Slots[Idx].record(V);
+}
+
+Histogram::State Histogram::merged() const {
+  const std::vector<State> &Slots = StatRegistry::localShard().Histograms;
+  State Out;
+  {
+    std::lock_guard<std::mutex> L(statMutex());
+    Out = Base;
+  }
+  if (Idx < Slots.size())
+    Out.merge(Slots[Idx]);
+  return Out;
+}
+
 void Histogram::reset() {
-  Count = 0;
-  Sum = 0;
-  Min = ~uint64_t(0);
-  Max = 0;
-  for (uint64_t &B : Buckets)
-    B = 0;
+  std::vector<State> &Slots = StatRegistry::localShard().Histograms;
+  if (Idx < Slots.size())
+    Slots[Idx] = State{};
+  std::lock_guard<std::mutex> L(statMutex());
+  Base = State{};
 }
 
 StatRegistry &StatRegistry::global() {
@@ -44,43 +139,69 @@ StatRegistry &StatRegistry::global() {
 
 Counter &StatRegistry::counter(const std::string &Name,
                                const std::string &Desc) {
+  std::lock_guard<std::mutex> L(statMutex());
   auto It = Counters.find(Name);
-  if (It == Counters.end())
-    It = Counters.emplace(Name, std::make_unique<Counter>(Name, Desc)).first;
+  if (It == Counters.end()) {
+    It = Counters
+             .emplace(Name, std::make_unique<Counter>(Name, Desc,
+                                                      CountersByIdx.size()))
+             .first;
+    CountersByIdx.push_back(It->second.get());
+  }
   return *It->second;
 }
 
 Histogram &StatRegistry::histogram(const std::string &Name,
                                    const std::string &Desc) {
+  std::lock_guard<std::mutex> L(statMutex());
   auto It = Histograms.find(Name);
-  if (It == Histograms.end())
-    It = Histograms.emplace(Name, std::make_unique<Histogram>(Name, Desc))
+  if (It == Histograms.end()) {
+    It = Histograms
+             .emplace(Name, std::make_unique<Histogram>(
+                                Name, Desc, HistogramsByIdx.size()))
              .first;
+    HistogramsByIdx.push_back(It->second.get());
+  }
   return *It->second;
 }
 
 void StatRegistry::gauge(const std::string &Name,
                          std::function<uint64_t()> Read,
                          const std::string &Desc) {
+  std::lock_guard<std::mutex> L(statMutex());
   Gauges[Name] = GaugeEntry{std::move(Read), Desc};
 }
 
 void StatRegistry::resetAll() {
+  ThreadShard &S = localShard();
+  std::lock_guard<std::mutex> L(statMutex());
   for (auto &[Name, C] : Counters)
-    C->reset();
+    C->Base = 0;
   for (auto &[Name, H] : Histograms)
-    H->reset();
+    H->Base = Histogram::State{};
+  std::fill(S.Counters.begin(), S.Counters.end(), 0);
+  std::fill(S.Histograms.begin(), S.Histograms.end(), Histogram::State{});
 }
 
 StatSnapshot StatRegistry::snapshot() const {
-  StatSnapshot S;
-  for (const auto &[Name, C] : Counters)
-    S.Counters[Name] = C->value();
+  const ThreadShard &S = localShard();
+  StatSnapshot Out;
+  std::lock_guard<std::mutex> L(statMutex());
+  for (const auto &[Name, C] : Counters) {
+    uint64_t V = C->Base;
+    if (C->Idx < S.Counters.size())
+      V += S.Counters[C->Idx];
+    Out.Counters[Name] = V;
+  }
   for (const auto &[Name, G] : Gauges)
-    S.Gauges[Name] = G.Read();
-  for (const auto &[Name, H] : Histograms)
-    S.Histograms[Name] = StatSnapshot::HistogramState{H->count(), H->sum()};
-  return S;
+    Out.Gauges[Name] = G.Read();
+  for (const auto &[Name, H] : Histograms) {
+    Histogram::State M = H->Base;
+    if (H->Idx < S.Histograms.size())
+      M.merge(S.Histograms[H->Idx]);
+    Out.Histograms[Name] = StatSnapshot::HistogramState{M.Count, M.Sum};
+  }
+  return Out;
 }
 
 namespace {
@@ -131,35 +252,50 @@ StatSnapshot::FlatMap StatSnapshot::flatten() const {
 }
 
 void StatRegistry::print(std::ostream &OS) const {
+  const ThreadShard &S = localShard();
+  std::lock_guard<std::mutex> L(statMutex());
   for (const auto &[Name, C] : Counters) {
-    if (C->value() == 0)
+    uint64_t V = C->Base;
+    if (C->Idx < S.Counters.size())
+      V += S.Counters[C->Idx];
+    if (V == 0)
       continue;
     OS << formatString("%12llu  %-40s %s\n",
-                       static_cast<unsigned long long>(C->value()),
-                       Name.c_str(), C->description().c_str());
+                       static_cast<unsigned long long>(V), Name.c_str(),
+                       C->description().c_str());
   }
   for (const auto &[Name, G] : Gauges)
     OS << formatString("%12llu  %-40s %s\n",
                        static_cast<unsigned long long>(G.Read()),
                        Name.c_str(), G.Desc.c_str());
   for (const auto &[Name, H] : Histograms) {
-    if (H->count() == 0)
+    Histogram::State M = H->Base;
+    if (H->Idx < S.Histograms.size())
+      M.merge(S.Histograms[H->Idx]);
+    if (M.Count == 0)
       continue;
+    double Mean = static_cast<double>(M.Sum) / static_cast<double>(M.Count);
     OS << formatString(
         "%12llu  %-40s n=%llu min=%llu mean=%.1f max=%llu; %s\n",
-        static_cast<unsigned long long>(H->sum()), Name.c_str(),
-        static_cast<unsigned long long>(H->count()),
-        static_cast<unsigned long long>(H->min()), H->mean(),
-        static_cast<unsigned long long>(H->max()),
+        static_cast<unsigned long long>(M.Sum), Name.c_str(),
+        static_cast<unsigned long long>(M.Count),
+        static_cast<unsigned long long>(M.Min), Mean,
+        static_cast<unsigned long long>(M.Max),
         H->description().c_str());
   }
 }
 
 void StatRegistry::writeJson(JsonWriter &W) const {
+  const ThreadShard &S = localShard();
+  std::lock_guard<std::mutex> L(statMutex());
   W.beginObject();
   W.key("counters").beginObject();
-  for (const auto &[Name, C] : Counters)
-    W.kv(Name, C->value());
+  for (const auto &[Name, C] : Counters) {
+    uint64_t V = C->Base;
+    if (C->Idx < S.Counters.size())
+      V += S.Counters[C->Idx];
+    W.kv(Name, V);
+  }
   W.endObject();
   W.key("gauges").beginObject();
   for (const auto &[Name, G] : Gauges)
@@ -167,12 +303,17 @@ void StatRegistry::writeJson(JsonWriter &W) const {
   W.endObject();
   W.key("histograms").beginObject();
   for (const auto &[Name, H] : Histograms) {
+    Histogram::State M = H->Base;
+    if (H->Idx < S.Histograms.size())
+      M.merge(S.Histograms[H->Idx]);
     W.key(Name).beginObject();
-    W.kv("count", H->count());
-    W.kv("sum", H->sum());
-    W.kv("min", H->min());
-    W.kv("max", H->max());
-    W.kv("mean", H->mean());
+    W.kv("count", M.Count);
+    W.kv("sum", M.Sum);
+    W.kv("min", M.Count ? M.Min : 0);
+    W.kv("max", M.Max);
+    W.kv("mean", M.Count ? static_cast<double>(M.Sum) /
+                               static_cast<double>(M.Count)
+                         : 0);
     W.endObject();
   }
   W.endObject();
@@ -187,6 +328,15 @@ std::string StatRegistry::toJson() const {
 
 void StatRegistry::forEachCounter(
     const std::function<void(const Counter &)> &Fn) const {
-  for (const auto &[Name, C] : Counters)
+  // Collect under the lock, invoke outside it: \p Fn may read values,
+  // which takes the lock itself.
+  std::vector<const Counter *> All;
+  {
+    std::lock_guard<std::mutex> L(statMutex());
+    All.reserve(Counters.size());
+    for (const auto &[Name, C] : Counters)
+      All.push_back(C.get());
+  }
+  for (const Counter *C : All)
     Fn(*C);
 }

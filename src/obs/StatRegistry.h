@@ -3,13 +3,27 @@
 /// \file
 /// A process-wide registry of named counters, gauges, and histograms for
 /// the compiler's internal metrics (CIG nodes/edges, family counts,
-/// dataflow iterations-to-fixpoint, kill-set sizes, bit-vector ops,
-/// per-scheme insert/delete tallies). Stats register themselves once via
-/// the NASCENT_STAT macros and increment through a plain uint64_t, so the
+/// dataflow block visits, kill-set sizes, bit-vector ops, per-scheme
+/// insert/delete tallies). Stats register themselves once via the
+/// NASCENT_STAT macros and increment through a plain uint64_t slot, so the
 /// always-on cost of a disabled snapshot is one add per event — the
 /// <2%-overhead budget of docs/telemetry.md.
 ///
-/// The compiler is single-threaded; counters are deliberately not atomic.
+/// Thread sharding: every increment lands in a thread-local shard (a flat
+/// vector indexed by the stat's dense registration index), so hot paths
+/// never touch an atomic or a lock. A shard flushes its totals into the
+/// stat's merged base when its owning thread exits; reads (value(),
+/// snapshot(), print(), writeJson()) return base + the calling thread's
+/// own shard under the registry mutex.
+///
+/// Determinism contract (docs/parallelism.md): a reader observes *exact*
+/// totals once every writer thread has been joined — BatchCompiler
+/// destroys its ThreadPool before returning, so a post-batch snapshot on
+/// the submitting thread is exact, and because integer adds commute the
+/// totals are bit-identical to a serial run of the same jobs. Snapshots
+/// taken *on* a worker thread bracket only that thread's work plus the
+/// stable merged base, which is what keeps per-job deltas exact under
+/// --jobs N.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,74 +36,104 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace nascent {
 namespace obs {
 
 class JsonWriter;
+class StatRegistry;
 
-/// A monotonically increasing event count.
+/// A monotonically increasing event count. Increments write the calling
+/// thread's shard slot; value() merges the flushed base with the calling
+/// thread's slot (see the sharding notes in the file header).
 class Counter {
 public:
-  Counter(std::string Name, std::string Desc)
-      : Name(std::move(Name)), Desc(std::move(Desc)) {}
+  Counter(std::string Name, std::string Desc, size_t Idx)
+      : Name(std::move(Name)), Desc(std::move(Desc)), Idx(Idx) {}
 
-  void inc() { ++V; }
-  void add(uint64_t N) { V += N; }
+  void inc() { add(1); }
+  void add(uint64_t N);
   Counter &operator++() {
-    ++V;
+    add(1);
     return *this;
   }
   Counter &operator+=(uint64_t N) {
-    V += N;
+    add(N);
     return *this;
   }
 
-  uint64_t value() const { return V; }
-  void reset() { V = 0; }
-
-  const std::string &name() const { return Name; }
-  const std::string &description() const { return Desc; }
-
-private:
-  std::string Name;
-  std::string Desc;
-  uint64_t V = 0;
-};
-
-/// A sampled distribution: count/sum/min/max plus power-of-two buckets
-/// (bucket K counts samples with floor(log2(v)) == K-1; bucket 0 counts
-/// zeros). Used for per-solve iteration counts and universe sizes.
-class Histogram {
-public:
-  static constexpr size_t NumBuckets = 65;
-
-  Histogram(std::string Name, std::string Desc)
-      : Name(std::move(Name)), Desc(std::move(Desc)) {}
-
-  void record(uint64_t V);
-
-  uint64_t count() const { return Count; }
-  uint64_t sum() const { return Sum; }
-  uint64_t min() const { return Count ? Min : 0; }
-  uint64_t max() const { return Max; }
-  double mean() const {
-    return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0;
-  }
-  uint64_t bucket(size_t K) const { return Buckets[K]; }
+  uint64_t value() const;
   void reset();
 
   const std::string &name() const { return Name; }
   const std::string &description() const { return Desc; }
 
 private:
+  friend class StatRegistry;
+
   std::string Name;
   std::string Desc;
-  uint64_t Count = 0;
-  uint64_t Sum = 0;
-  uint64_t Min = ~uint64_t(0);
-  uint64_t Max = 0;
-  uint64_t Buckets[NumBuckets] = {};
+  /// Dense registration index: the counter's slot in every thread shard.
+  size_t Idx;
+  /// Totals flushed from exited threads' shards; registry-mutex guarded.
+  uint64_t Base = 0;
+};
+
+/// A sampled distribution: count/sum/min/max plus power-of-two buckets
+/// (bucket K counts samples with floor(log2(v)) == K-1; bucket 0 counts
+/// zeros). Used for per-solve visit counts and universe sizes.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 65;
+
+  /// The plain mergeable accumulator state — one lives per histogram in
+  /// each thread shard, one (the flushed base) in the histogram itself.
+  struct State {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Min = ~uint64_t(0);
+    uint64_t Max = 0;
+    uint64_t Buckets[NumBuckets] = {};
+
+    void record(uint64_t V);
+    void merge(const State &Other);
+  };
+
+  Histogram(std::string Name, std::string Desc, size_t Idx)
+      : Name(std::move(Name)), Desc(std::move(Desc)), Idx(Idx) {}
+
+  void record(uint64_t V);
+
+  uint64_t count() const { return merged().Count; }
+  uint64_t sum() const { return merged().Sum; }
+  uint64_t min() const {
+    State S = merged();
+    return S.Count ? S.Min : 0;
+  }
+  uint64_t max() const { return merged().Max; }
+  double mean() const {
+    State S = merged();
+    return S.Count ? static_cast<double>(S.Sum) / static_cast<double>(S.Count)
+                   : 0;
+  }
+  uint64_t bucket(size_t K) const { return merged().Buckets[K]; }
+  void reset();
+
+  const std::string &name() const { return Name; }
+  const std::string &description() const { return Desc; }
+
+private:
+  friend class StatRegistry;
+
+  /// Base + the calling thread's shard state, under the registry mutex.
+  State merged() const;
+
+  std::string Name;
+  std::string Desc;
+  size_t Idx;
+  /// State flushed from exited threads' shards; registry-mutex guarded.
+  State Base;
 };
 
 /// A point-in-time copy of every registered stat's value. Snapshots make
@@ -97,7 +141,8 @@ private:
 /// take one before and one after a region and `deltaFrom` yields exactly
 /// the work done inside it. The bench repetition driver relies on this so
 /// `--reps N` reports per-rep counter values instead of N-fold
-/// accumulations.
+/// accumulations, and BatchCompiler brackets each job in a snapshot pair
+/// on the executing thread to attribute work per job under --jobs N.
 class StatSnapshot {
 public:
   /// Histograms are summarised by their two monotone accumulators.
@@ -130,7 +175,10 @@ private:
 
 /// The process-wide registry. Lookup by name interns the stat; references
 /// returned remain valid for the process lifetime, which is what lets the
-/// NASCENT_STAT macros bind a namespace-scope reference once.
+/// NASCENT_STAT macros bind a namespace-scope reference once. Interning
+/// and whole-registry reads are mutex-guarded so worker threads may
+/// intern lazily and snapshot concurrently; per-event increments stay
+/// lock-free on the thread shard.
 class StatRegistry {
 public:
   /// The global registry (created on first use; registers the built-in
@@ -146,7 +194,10 @@ public:
              const std::string &Desc = "");
 
   /// Zeroes every counter and histogram (gauges read external state and
-  /// are left alone). Benchmarks and tests use this to measure deltas.
+  /// are left alone). Only the calling thread's shard is cleared along
+  /// with the merged base, so this is exact when no other thread is
+  /// mutating stats — the same quiescence the read contract requires.
+  /// Benchmarks and tests use this to measure deltas.
   void resetAll();
 
   /// Captures every current value (gauges are read now). Prefer snapshot
@@ -166,7 +217,23 @@ public:
       const std::function<void(const Counter &)> &Fn) const;
 
 private:
+  friend class Counter;
+  friend class Histogram;
+
   StatRegistry() = default;
+
+  /// Per-thread stat storage: flat value vectors indexed by each stat's
+  /// dense Idx. Defined in the .cpp; its destructor flushes into the
+  /// merged bases when the owning thread exits.
+  struct ThreadShard;
+
+  /// The calling thread's shard (created on first use).
+  static ThreadShard &localShard();
+
+  /// Merges \p S into the stats' bases and empties it; called from the
+  /// shard destructor at thread exit. Also retires the thread's
+  /// DenseBitVector word-op count into the process total.
+  void flushShard(ThreadShard &S);
 
   struct GaugeEntry {
     std::function<uint64_t()> Read;
@@ -176,6 +243,9 @@ private:
   std::map<std::string, std::unique_ptr<Counter>> Counters;
   std::map<std::string, std::unique_ptr<Histogram>> Histograms;
   std::map<std::string, GaugeEntry> Gauges;
+  /// Registration order; the vectors' indices are the shard slot indices.
+  std::vector<Counter *> CountersByIdx;
+  std::vector<Histogram *> HistogramsByIdx;
 };
 
 } // namespace obs

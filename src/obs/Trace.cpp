@@ -22,6 +22,16 @@ double obs::processCpuSeconds() {
   return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
 }
 
+double obs::threadCpuSeconds() {
+#if defined(__linux__) || defined(__APPLE__)
+  struct timespec TS;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &TS) == 0)
+    return static_cast<double>(TS.tv_sec) +
+           static_cast<double>(TS.tv_nsec) * 1e-9;
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
 std::string TraceCollector::toJson() const {
   JsonWriter W;
   W.beginObject();
@@ -99,12 +109,12 @@ ScopedPhase::ScopedPhase(PhaseTimings &PT, std::string Name,
                          std::chrono::steady_clock::time_point PipelineT0,
                          TraceCollector *TC)
     : PT(PT), Name(std::move(Name)), PipelineT0(PipelineT0),
-      WallT0(std::chrono::steady_clock::now()), CpuT0(processCpuSeconds()),
+      WallT0(std::chrono::steady_clock::now()), CpuT0(threadCpuSeconds()),
       Trace(TC, this->Name) {}
 
 ScopedPhase::~ScopedPhase() {
   auto WallT1 = std::chrono::steady_clock::now();
-  double CpuT1 = processCpuSeconds();
+  double CpuT1 = threadCpuSeconds();
   PhaseTiming P;
   P.Name = std::move(Name);
   P.WallStart = std::chrono::duration<double>(WallT0 - PipelineT0).count();

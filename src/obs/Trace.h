@@ -9,8 +9,10 @@
 ///    `trace_event` JSON loadable in Perfetto / chrome://tracing.
 ///  - PhaseTimings: the flat per-phase breakdown carried on CompileResult,
 ///    measuring every phase on BOTH clocks (wall via steady_clock, CPU via
-///    CLOCK_PROCESS_CPUTIME_ID) — the former OptimizeSeconds/TotalSeconds
-///    pair mixed the two and is now derived from this table.
+///    CLOCK_THREAD_CPUTIME_ID so a compile running on a BatchCompiler
+///    worker charges only its own cycles) — the former
+///    OptimizeSeconds/TotalSeconds pair mixed the two and is now derived
+///    from this table.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,8 +27,14 @@
 namespace nascent {
 namespace obs {
 
-/// Current process CPU time in seconds.
+/// Current process CPU time in seconds (sums over all threads).
 double processCpuSeconds();
+
+/// Current CPU time of the calling thread in seconds. Phase timings use
+/// this clock so a compile job measured on a BatchCompiler worker charges
+/// only its own cycles, not every concurrent job's; in a single-threaded
+/// process the two clocks advance identically.
+double threadCpuSeconds();
 
 /// One completed trace span.
 struct TraceEvent {
@@ -92,7 +100,7 @@ struct PhaseTiming {
   std::string Name;
   double WallStart = 0;   ///< seconds from pipeline begin to phase begin
   double WallSeconds = 0; ///< wall-clock duration
-  double CpuSeconds = 0;  ///< process CPU duration
+  double CpuSeconds = 0;  ///< CPU duration of the measuring thread
 };
 
 /// The per-compile phase breakdown (CompileResult::Phases).

@@ -56,11 +56,8 @@ void CheckContext::buildUniverse(const std::vector<PreheaderFact> &Facts) {
   RepOrigin.resize(U.size());
 
   GenIn.assign(F.numBlocks(), DenseBitVector(U.size()));
-  for (auto &[Block, C] : FactIds) {
-    DenseBitVector Closure(U.size());
-    CIG.weakerClosure(C, Closure);
-    GenIn[Block] |= Closure;
-  }
+  for (auto &[Block, C] : FactIds)
+    GenIn[Block] |= weakerClosure(C);
 }
 
 void CheckContext::applyKill(const Instruction &I,
@@ -92,30 +89,90 @@ void CheckContext::applyAnticGen(BlockID B, size_t Idx, const Instruction &I,
 }
 
 const DenseBitVector &CheckContext::weakerClosure(CheckID C) const {
-  if (ClosureCache.size() != U.size()) {
-    ClosureCache.assign(U.size(), DenseBitVector(U.size()));
-    ClosureValid.assign(U.size(), false);
-  }
-  if (!ClosureValid[C]) {
-    ClosureCache[C] = DenseBitVector(U.size());
-    CIG.weakerClosure(C, ClosureCache[C]);
-    ClosureValid[C] = true;
-  }
+  ensureClosures();
   return ClosureCache[C];
 }
 
 const DenseBitVector &
 CheckContext::weakerClosureSameFamily(CheckID C) const {
-  if (FamClosureCache.size() != U.size()) {
-    FamClosureCache.assign(U.size(), DenseBitVector(U.size()));
-    FamClosureValid.assign(U.size(), false);
-  }
-  if (!FamClosureValid[C]) {
-    FamClosureCache[C] = DenseBitVector(U.size());
-    CIG.weakerClosureSameFamily(C, FamClosureCache[C]);
-    FamClosureValid[C] = true;
-  }
+  ensureClosures();
   return FamClosureCache[C];
+}
+
+void CheckContext::ensureClosures() const {
+  if (ClosuresBuilt)
+    return;
+  ClosuresBuilt = true;
+  size_t N = U.size();
+  ClosureCache.assign(N, DenseBitVector(N));
+  FamClosureCache.assign(N, DenseBitVector(N));
+  if (N == 0)
+    return;
+
+  if (Mode == ImplicationMode::None) {
+    // Every check implies only itself; no graph walks needed.
+    for (size_t C = 0; C != N; ++C) {
+      ClosureCache[C].set(C);
+      FamClosureCache[C].set(C);
+    }
+    return;
+  }
+
+  // Suffix masks over each family's bound-ascending member list:
+  // Suffix[F][K] = {members K..}. "All members with bound >= T" is then a
+  // binary search plus one word-parallel OR, for any threshold T.
+  size_t NumFams = U.numFamilies();
+  std::vector<std::vector<DenseBitVector>> Suffix(NumFams);
+  for (size_t FI = 0; FI != NumFams; ++FI) {
+    const std::vector<CheckID> &Members =
+        U.familyMembers(static_cast<FamilyID>(FI));
+    std::vector<DenseBitVector> S(Members.size() + 1, DenseBitVector(N));
+    for (size_t K = Members.size(); K-- > 0;) {
+      S[K] = S[K + 1];
+      S[K].set(Members[K]);
+    }
+    Suffix[FI] = std::move(S);
+  }
+
+  auto FirstWithBoundAtLeast = [this](const std::vector<CheckID> &Members,
+                                      int64_t T) {
+    size_t Lo = 0, Hi = Members.size();
+    while (Lo < Hi) {
+      size_t Mid = Lo + (Hi - Lo) / 2;
+      if (U.check(Members[Mid]).bound() < T)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Lo;
+  };
+
+  for (size_t FI = 0; FI != NumFams; ++FI) {
+    const std::vector<CheckID> &Members =
+        U.familyMembers(static_cast<FamilyID>(FI));
+    for (size_t K = 0; K != Members.size(); ++K) {
+      CheckID C = Members[K];
+      int64_t BoundC = U.check(C).bound();
+      if (Mode != ImplicationMode::CrossFamilyOnly) {
+        // Same family: everything with a bound at least ours. (Binary
+        // search instead of position K keeps duplicate bounds exact.)
+        size_t Start = FirstWithBoundAtLeast(Members, BoundC);
+        ClosureCache[C] |= Suffix[FI][Start];
+        FamClosureCache[C] |= Suffix[FI][Start];
+      }
+      ClosureCache[C].set(C);
+      FamClosureCache[C].set(C);
+      // Cross family: members reachable with accumulated weight. The
+      // reachability row is computed once per family (cached in the CIG)
+      // and shared by all its members.
+      CIG.forEachReachable(
+          static_cast<FamilyID>(FI), [&](FamilyID FJ, int64_t W) {
+            const std::vector<CheckID> &MJ = U.familyMembers(FJ);
+            ClosureCache[C] |=
+                Suffix[FJ][FirstWithBoundAtLeast(MJ, BoundC + W)];
+          });
+    }
+  }
 }
 
 void CheckContext::buildBlockSets() {

@@ -90,7 +90,9 @@ public:
   /// Anticipatability: backward, intersect. In = block entry, Out = exit.
   DataflowResult solveAnticipatability() const;
 
-  /// Cached weaker-closures (availability flavour).
+  /// Cached weaker-closures (availability flavour). The first query
+  /// batch-builds the closures of *every* check in one pass (see
+  /// ensureClosures), so per-check calls are lookups.
   const DenseBitVector &weakerClosure(CheckID C) const;
 
   /// Cached weaker-closures restricted to the family (antic flavour).
@@ -111,6 +113,14 @@ private:
   void buildUniverse(const std::vector<PreheaderFact> &Facts);
   void buildBlockSets();
 
+  /// One-shot batch fill of both closure caches. Groups the work by
+  /// family: the per-family bound-suffix masks and the per-family
+  /// reachability scan are shared by all members, so each closure is a
+  /// few word-parallel ORs instead of a per-member CIG walk. Safe to
+  /// build eagerly because production code never mutates the CIG after
+  /// the context is constructed.
+  void ensureClosures() const;
+
   const Function &F;
   ImplicationMode Mode;
   obs::TraceCollector *Trace = nullptr;
@@ -126,10 +136,9 @@ private:
   std::vector<DenseBitVector> AvailGen; ///< includes GenIn survivors
   std::vector<DenseBitVector> AnticGen;
 
+  mutable bool ClosuresBuilt = false;
   mutable std::vector<DenseBitVector> ClosureCache;
-  mutable std::vector<bool> ClosureValid;
   mutable std::vector<DenseBitVector> FamClosureCache;
-  mutable std::vector<bool> FamClosureValid;
 };
 
 } // namespace nascent

@@ -3,7 +3,7 @@
 #include "analysis/CFGUtils.h"
 #include "obs/StatRegistry.h"
 
-#include <map>
+#include <algorithm>
 
 using namespace nascent;
 
@@ -141,25 +141,35 @@ LCMStats nascent::runLazyCodeMotion(Function &F, const CheckContext &Ctx,
   }
 
   // Materialise the insertions, keeping only the strongest check per
-  // family at each point.
+  // family at each point. StrongestOf is a dense FamilyID-indexed scratch
+  // reset between calls via the touched list; emission stays in ascending
+  // family order.
+  std::vector<CheckID> StrongestOf(U.numFamilies(), InvalidCheck);
+  std::vector<FamilyID> Touched;
   auto Reduce = [&](const DenseBitVector &Bits, std::vector<CheckID> &Out) {
-    std::map<FamilyID, CheckID> Strongest;
+    Touched.clear();
     Bits.forEachSetBit([&](size_t C) {
       CheckID Id = static_cast<CheckID>(C);
       FamilyID Fam = U.familyOf(Id);
-      auto It = Strongest.find(Fam);
-      if (It == Strongest.end() ||
-          U.check(Id).bound() < U.check(It->second).bound())
-        Strongest[Fam] = Id;
+      CheckID &Slot = StrongestOf[Fam];
+      if (Slot == InvalidCheck) {
+        Touched.push_back(Fam);
+        Slot = Id;
+      } else if (U.check(Id).bound() < U.check(Slot).bound()) {
+        Slot = Id;
+      }
     });
-    for (const auto &[Fam, Id] : Strongest) {
-      (void)Fam;
-      Out.push_back(Id);
+    std::sort(Touched.begin(), Touched.end());
+    for (FamilyID Fam : Touched) {
+      Out.push_back(StrongestOf[Fam]);
+      StrongestOf[Fam] = InvalidCheck;
     }
   };
 
-  // Group insertions by (block, position) so index shifts stay trivial.
-  std::map<BlockID, std::vector<CheckID>> AtStart, BeforeTerm;
+  // Group insertions by (block, position) so index shifts stay trivial;
+  // dense BlockID-indexed buckets visited in ascending block order.
+  std::vector<std::vector<CheckID>> AtStart(F.numBlocks());
+  std::vector<std::vector<CheckID>> BeforeTerm(F.numBlocks());
   for (size_t K = 0; K != Edges.size(); ++K) {
     if (InsertOnEdge[K].none())
       continue;
@@ -196,21 +206,21 @@ LCMStats nascent::runLazyCodeMotion(Function &F, const CheckContext &Ctx,
               "); later occurrences become redundant"));
   };
 
-  for (auto &[B, Ids] : AtStart) {
+  for (size_t B = 0; B != AtStart.size(); ++B) {
     size_t Pos = 0;
-    for (CheckID Id : Ids) {
-      F.block(B)->insertAt(Pos++, MakeCheck(Id));
+    for (CheckID Id : AtStart[B]) {
+      F.block(static_cast<BlockID>(B))->insertAt(Pos++, MakeCheck(Id));
       ++Stats.ChecksInserted;
       ++NumLcmInserted;
-      Note(B, Id, "block start");
+      Note(static_cast<BlockID>(B), Id, "block start");
     }
   }
-  for (auto &[B, Ids] : BeforeTerm) {
-    for (CheckID Id : Ids) {
-      F.block(B)->insertBeforeTerminator(MakeCheck(Id));
+  for (size_t B = 0; B != BeforeTerm.size(); ++B) {
+    for (CheckID Id : BeforeTerm[B]) {
+      F.block(static_cast<BlockID>(B))->insertBeforeTerminator(MakeCheck(Id));
       ++Stats.ChecksInserted;
       ++NumLcmInserted;
-      Note(B, Id, "before terminator");
+      Note(static_cast<BlockID>(B), Id, "before terminator");
     }
   }
   return Stats;

@@ -4,8 +4,6 @@
 #include "analysis/LoopInfo.h"
 #include "obs/StatRegistry.h"
 
-#include <map>
-#include <set>
 #include <unordered_map>
 
 using namespace nascent;
@@ -27,20 +25,21 @@ struct PlannedCheck {
 };
 
 /// Returns the set of symbols defined (as instruction destinations) inside
-/// the loop.
-std::set<SymbolID> definedSymbols(const Function &F, const Loop &L) {
-  std::set<SymbolID> Out;
+/// the loop, as a bit set over the function's symbol space — the
+/// invariance tests below probe it once per expression term.
+DenseBitVector definedSymbols(const Function &F, const Loop &L) {
+  DenseBitVector Out(F.symbols().size());
   for (BlockID B : L.Blocks)
     for (const Instruction &I : F.block(B)->instructions())
       if (I.Dest != InvalidSymbol)
-        Out.insert(I.Dest);
+        Out.set(I.Dest);
   return Out;
 }
 
-bool exprInvariant(const LinearExpr &E, const std::set<SymbolID> &Defined) {
+bool exprInvariant(const LinearExpr &E, const DenseBitVector &Defined) {
   for (const auto &[Sym, Coeff] : E.terms()) {
     (void)Coeff;
-    if (Defined.count(Sym))
+    if (Defined.test(Sym))
       return false;
   }
   return true;
@@ -124,8 +123,11 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
 
   // Checks that occur as plain Check instructions inside each loop; a
   // candidate is only worth hoisting when it covers at least one of them.
-  std::unordered_map<const Loop *, DenseBitVector> OccursIn;
-  for (const Loop *L : LI.loopsInnermostFirst()) {
+  // Indexed parallel to loopsInnermostFirst().
+  const std::vector<Loop *> &Loops = LI.loopsInnermostFirst();
+  std::vector<DenseBitVector> OccursIn;
+  OccursIn.reserve(Loops.size());
+  for (const Loop *L : Loops) {
     DenseBitVector Bits(U.size());
     for (BlockID B : L->Blocks)
       for (size_t Idx = 0; Idx != F.block(B)->size(); ++Idx) {
@@ -133,14 +135,15 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
         if (C != InvalidCheck)
           Bits.set(C);
       }
-    OccursIn.emplace(L, std::move(Bits));
+    OccursIn.push_back(std::move(Bits));
   }
 
-  for (const Loop *L : LI.loopsInnermostFirst()) {
+  for (size_t LIdx = 0; LIdx != Loops.size(); ++LIdx) {
+    const Loop *L = Loops[LIdx];
     if (L->DoLoopIndex < 0)
       continue; // while loops: no affine entry guard (paper section 3.3)
     const DoLoopInfo &DL = F.doLoops()[static_cast<size_t>(L->DoLoopIndex)];
-    std::set<SymbolID> Defined = definedSymbols(F, *L);
+    DenseBitVector Defined = definedSymbols(F, *L);
 
     CheckExpr Guard = DL.entryGuard();
     if (Guard.isCompileTimeConstant() && !Guard.evaluatesToTrue())
@@ -195,7 +198,7 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
     std::unordered_map<LinearExpr, Group, LinearExprHash> Groups;
 
     const DenseBitVector &AntIn = Antic.In[DL.BodyEntry];
-    const DenseBitVector &Occurs = OccursIn[L];
+    const DenseBitVector &Occurs = OccursIn[LIdx];
     AntIn.forEachSetBit([&](size_t Bit) {
       CheckID C = static_cast<CheckID>(Bit);
       if (Opts.MarksteinRestriction && !MarksteinOK.test(C))

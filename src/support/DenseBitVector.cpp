@@ -1,16 +1,27 @@
 #include "support/DenseBitVector.h"
 
+#include <atomic>
 #include <bit>
 
 using namespace nascent;
 
 namespace {
-/// Cumulative word-parallel operation count; one increment per call, not
-/// per word, so the hot solver loops pay a single add.
-uint64_t WordOpCount = 0;
+/// The calling thread's word-parallel operation count; one increment per
+/// call, not per word, so the hot solver loops pay a single thread-local
+/// add. Retired into the process-wide atomic when the thread's stat
+/// shard flushes (obs/StatRegistry calls retireThreadOps()).
+thread_local uint64_t WordOpCount = 0;
+std::atomic<uint64_t> RetiredWordOps{0};
 } // namespace
 
-uint64_t DenseBitVector::wordOps() { return WordOpCount; }
+uint64_t DenseBitVector::wordOps() {
+  return RetiredWordOps.load(std::memory_order_relaxed) + WordOpCount;
+}
+
+void DenseBitVector::retireThreadOps() {
+  RetiredWordOps.fetch_add(WordOpCount, std::memory_order_relaxed);
+  WordOpCount = 0;
+}
 
 DenseBitVector::DenseBitVector(size_t NumBits, bool InitialValue)
     : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {

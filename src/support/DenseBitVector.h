@@ -89,7 +89,17 @@ public:
   /// ==) performed by every vector in the process. The telemetry layer
   /// (src/obs) surfaces this as the "support.bitvector.word_ops" gauge;
   /// support sits below obs in the layering, so the raw total lives here.
+  ///
+  /// The count is kept per thread (a plain thread-local add on the hot
+  /// path) plus an atomic total retired from exited threads; wordOps()
+  /// returns retired + the calling thread's live count. Like the stat
+  /// shards in obs/StatRegistry, the total is exact once every writer
+  /// thread has been joined (its shard flush calls retireThreadOps()).
   static uint64_t wordOps();
+
+  /// Folds the calling thread's live op count into the retired total and
+  /// zeroes it. Called by the obs-layer thread-shard flush at thread exit.
+  static void retireThreadOps();
 
 private:
   /// Clears any bits in the last word beyond NumBits so that whole-word

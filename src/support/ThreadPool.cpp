@@ -1,0 +1,78 @@
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace nascent;
+
+ThreadPool::ThreadPool(unsigned NumWorkers) {
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stopping = true;
+  }
+  HasWork.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  if (Workers.empty()) {
+    // Inline mode: the packaged_task wrapper still captures exceptions
+    // into the future, so callers see identical semantics.
+    Task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Queue.push_back(std::move(Task));
+  }
+  HasWork.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      // A stopping worker may only exit once no task is in flight
+      // anywhere: thread exit flushes the worker's stat shard into the
+      // registry's merged base, and a flush landing inside another job's
+      // snapshot window would pollute that job's stat delta (the batch
+      // determinism contract, docs/parallelism.md). So the whole pool
+      // drains, then every worker exits — and flushes — together.
+      HasWork.wait(L, [this] {
+        return !Queue.empty() || (Stopping && NumRunning == 0);
+      });
+      if (Queue.empty())
+        break; // Stopping, drained, and nothing still running.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++NumRunning;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      --NumRunning;
+      if (Queue.empty() && NumRunning == 0) {
+        Drained.notify_all();
+        HasWork.notify_all(); // release workers parked on the exit gate
+      }
+    }
+  }
+}
+
+void ThreadPool::wait() {
+  if (Workers.empty())
+    return;
+  std::unique_lock<std::mutex> L(Mu);
+  Drained.wait(L, [this] { return Queue.empty() && NumRunning == 0; });
+}
+
+unsigned ThreadPool::defaultWorkers() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}

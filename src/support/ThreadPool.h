@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool with a FIFO task queue. This is the only
+/// place the codebase spawns threads; everything parallel (BatchCompiler,
+/// the bench sweep driver) funnels through it so the threading contract
+/// stays in one file: tasks may run in any order relative to each other,
+/// a task's exception is captured in its future and rethrown at get(),
+/// and destroying the pool drains the queue and joins every worker —
+/// which is what makes a post-pool StatRegistry read exact (see
+/// docs/parallelism.md).
+///
+/// A pool with zero workers runs every task inline at submit(), so serial
+/// and parallel callers share one code path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NASCENT_SUPPORT_THREADPOOL_H
+#define NASCENT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace nascent {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumWorkers workers. Zero means "no threads": submit()
+  /// executes tasks inline and the futures are ready on return.
+  explicit ThreadPool(unsigned NumWorkers);
+
+  /// Drains the queue (every submitted task still runs), then joins all
+  /// workers. Worker-thread stat shards flush during the join, so stats
+  /// read after destruction include all pool work.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numWorkers() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues \p Task and returns a future for its result. If the task
+  /// throws, the exception surfaces from future::get().
+  template <typename Fn>
+  auto submit(Fn &&Task)
+      -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using ResultT = std::invoke_result_t<std::decay_t<Fn>>;
+    auto Packaged = std::make_shared<std::packaged_task<ResultT()>>(
+        std::forward<Fn>(Task));
+    std::future<ResultT> Result = Packaged->get_future();
+    enqueue([Packaged] { (*Packaged)(); });
+    return Result;
+  }
+
+  /// Blocks until every task submitted so far has finished. (Joining via
+  /// the destructor is the only way to also get the stat-shard flush.)
+  void wait();
+
+  /// Worker count for a --jobs 0 / "auto" request: the hardware
+  /// concurrency, at least 1.
+  static unsigned defaultWorkers();
+
+private:
+  void enqueue(std::function<void()> Task);
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mu;
+  std::condition_variable HasWork;
+  std::condition_variable Drained;
+  size_t NumRunning = 0;
+  bool Stopping = false;
+};
+
+} // namespace nascent
+
+#endif // NASCENT_SUPPORT_THREADPOOL_H

@@ -11,6 +11,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "driver/BatchCompiler.h"
 #include "driver/Pipeline.h"
 #include "obs/StatRegistry.h"
 #include "suite/Suite.h"
@@ -64,6 +65,41 @@ TEST(Determinism, SchemesAreDistinguishedByTheirDeltas) {
   EXPECT_TRUE(NI.count("opt.scheme.NI"));
   EXPECT_TRUE(LLS.count("opt.scheme.LLS"));
   EXPECT_FALSE(LLS.count("opt.scheme.NI"));
+}
+
+TEST(Determinism, WorkCountersAreBitIdenticalAcrossJobCounts) {
+  // The sharded registry's contract under BatchCompiler: the per-job
+  // stat deltas and the whole-batch registry growth are the same for
+  // --jobs 1, 2, and 8. This is what lets audit_all --jobs N and the
+  // bench sweeps gate on exact counters regardless of worker count.
+  const PlacementScheme Schemes[] = {
+      PlacementScheme::NI,  PlacementScheme::CS,  PlacementScheme::LNI,
+      PlacementScheme::SE,  PlacementScheme::LI,  PlacementScheme::LLS,
+      PlacementScheme::ALL, PlacementScheme::MCM, PlacementScheme::AI};
+  const SuiteProgram *P = findSuiteProgram("vortex");
+  ASSERT_NE(P, nullptr);
+
+  std::vector<BatchJob> Batch;
+  for (PlacementScheme Scheme : Schemes) {
+    PipelineOptions PO;
+    PO.Opt.Scheme = Scheme;
+    Batch.push_back({P->Source, PO});
+  }
+
+  auto WorkMaps = [&Batch](unsigned Jobs) {
+    std::vector<obs::StatSnapshot::FlatMap> Out;
+    for (BatchJobResult &R : BatchCompiler(Jobs).run(Batch))
+      Out.push_back(std::move(R.Work));
+    return Out;
+  };
+
+  WorkMaps(1); // warmup: intern dynamic per-scheme counters
+  std::vector<obs::StatSnapshot::FlatMap> Serial = WorkMaps(1);
+  for (size_t I = 0; I != Serial.size(); ++I)
+    EXPECT_FALSE(Serial[I].empty())
+        << placementSchemeName(Schemes[I]);
+  EXPECT_EQ(WorkMaps(2), Serial);
+  EXPECT_EQ(WorkMaps(8), Serial);
 }
 
 TEST(Determinism, DeltaIgnoresUnrelatedPriorWork) {

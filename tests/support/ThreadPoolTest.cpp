@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ThreadPool contract tests: results come back through futures in
+/// submission order regardless of execution order, exceptions propagate
+/// through future::get(), zero workers means inline execution, and the
+/// destructor drains the queue before joining. These run under TSan via
+/// the check-threads label (-DNASCENT_SANITIZE=thread).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace nascent;
+
+namespace {
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.numWorkers(), 0u);
+  std::vector<int> Order;
+  auto F1 = Pool.submit([&] { Order.push_back(1); return 10; });
+  auto F2 = Pool.submit([&] { Order.push_back(2); return 20; });
+  // Inline mode executes at submit(), so the side effects are already
+  // visible and the futures are ready.
+  EXPECT_EQ(Order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(F1.get(), 10);
+  EXPECT_EQ(F2.get(), 20);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesFifoOrder) {
+  std::vector<int> Order;
+  {
+    ThreadPool Pool(1);
+    for (int I = 0; I != 32; ++I)
+      Pool.submit([&Order, I] { Order.push_back(I); });
+  } // destructor drains, then joins
+  std::vector<int> Expected(32);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ThreadPool, ResultsArriveInSubmissionOrder) {
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Workers);
+    EXPECT_EQ(Pool.numWorkers(), Workers);
+    std::vector<std::future<int>> Futures;
+    for (int I = 0; I != 64; ++I)
+      Futures.push_back(Pool.submit([I] { return I * I; }));
+    for (int I = 0; I != 64; ++I)
+      EXPECT_EQ(Futures[static_cast<size_t>(I)].get(), I * I)
+          << "workers=" << Workers;
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  for (unsigned Workers : {0u, 1u, 4u}) {
+    ThreadPool Pool(Workers);
+    auto Ok = Pool.submit([] { return 7; });
+    auto Boom = Pool.submit(
+        []() -> int { throw std::runtime_error("job failed"); });
+    EXPECT_EQ(Ok.get(), 7);
+    EXPECT_THROW(Boom.get(), std::runtime_error) << "workers=" << Workers;
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  // Every submitted task runs even when the pool is destroyed immediately
+  // after submission — destruction means "drain then join", not "abort".
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 100; ++I)
+      Pool.submit([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(Ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitBlocksUntilSubmittedWorkFinishes) {
+  std::atomic<int> Ran{0};
+  ThreadPool Pool(4);
+  for (int I = 0; I != 50; ++I)
+    Pool.submit([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 50);
+  // The pool stays usable after wait().
+  auto F = Pool.submit([] { return 1; });
+  EXPECT_EQ(F.get(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAcrossFewWorkers) {
+  std::atomic<uint64_t> Sum{0};
+  {
+    ThreadPool Pool(3);
+    for (uint64_t I = 1; I <= 1000; ++I)
+      Pool.submit([&Sum, I] { Sum.fetch_add(I, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(Sum.load(), 1000u * 1001u / 2);
+}
+
+} // namespace
