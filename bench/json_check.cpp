@@ -10,6 +10,12 @@
 ///
 ///   json_check ./table2_schemes --json --tiny
 ///
+/// A document carrying a "provenance" member is instead validated as a
+/// check-lifecycle provenance envelope (obs/Provenance.h): every event
+/// well-formed, every witness-tag reference resolved, every lifecycle
+/// terminal. The provenance-smoke entries drive mfc -provenance-json
+/// through this path.
+///
 /// Exits 0 on a valid document, 1 on a parse/validation failure or a
 /// failing command.
 ///
@@ -17,6 +23,7 @@
 
 #include "obs/BenchSchema.h"
 #include "obs/Json.h"
+#include "obs/Provenance.h"
 
 #include <cstdio>
 #include <string>
@@ -60,7 +67,9 @@ int main(int argc, char **argv) {
                  Cmd.c_str(), Err.c_str());
     return 1;
   }
-  if (!obs::validateBenchDocument(V, &Err)) {
+  bool Ok = V.get("provenance") ? obs::validateProvenanceDocument(V, &Err)
+                                : obs::validateBenchDocument(V, &Err);
+  if (!Ok) {
     std::fprintf(stderr,
                  "json_check: '%s' output fails schema validation: %s\n",
                  Cmd.c_str(), Err.c_str());

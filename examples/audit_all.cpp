@@ -61,15 +61,19 @@ struct ConfigTiming {
 
 int main(int argc, char **argv) {
   bool Json = false;
+  bool Provenance = false;
   unsigned Jobs = 1;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0)
       Json = true;
+    else if (std::strcmp(argv[I], "--provenance") == 0)
+      Provenance = true;
     else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc)
       Jobs = resolveJobCount(
           static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10)));
     else {
-      std::fprintf(stderr, "usage: %s [--json] [--jobs N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json] [--provenance] [--jobs N]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -107,6 +111,7 @@ int main(int argc, char **argv) {
         PO.Opt.Scheme = Scheme;
         PO.Opt.Implications = Mode;
         PO.Audit = true;
+        PO.Telemetry.Provenance = Provenance;
         Batch.push_back({P.Source, PO});
         Keys.push_back({P.Name, Scheme, Mode});
       }
@@ -154,7 +159,26 @@ int main(int argc, char **argv) {
         W.endObject();
       }
       W.endArray();
+      if (Provenance) {
+        W.key("provenance");
+        R.Provenance.writeJson(W);
+      }
       W.endObject();
+    }
+    if (Provenance) {
+      // The provenance record must reconcile with the optimizer stats for
+      // every configuration; a mismatch is a finding like any other.
+      std::vector<std::string> Problems =
+          reconcileCheckProvenance(R.Provenance, R.Stats);
+      if (!Problems.empty()) {
+        std::fprintf(stderr, "audit_all: %s scheme=%s impl=%s provenance "
+                             "FAILED\n",
+                     K.Program, placementSchemeName(K.Scheme),
+                     implicationModeName(K.Mode));
+        for (const std::string &P : Problems)
+          std::fprintf(stderr, "  %s\n", P.c_str());
+        ++Failures;
+      }
     }
     Total += R.Audit.stats();
     if (!R.Audit.clean()) {

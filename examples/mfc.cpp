@@ -30,6 +30,14 @@
 ///                                       filtered by family/array regex;
 ///                                       residual checks are annotated
 ///                                       with their dynamic hit counts
+///     -provenance-json                  print the stats envelope with the
+///                                       full check-lifecycle provenance
+///                                       record (implies -stats-json)
+///     -provenance-dot=PATH              write the subsumption /
+///                                       justification graph as DOT
+///     -explain=SITE                     print the full decision chain of
+///                                       every check originating at SITE
+///                                       ([file:]line[:col])
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,8 +64,45 @@ void usage() {
       stderr,
       "usage: mfc [-scheme=NAME] [-impl=all|cross|none] [-inx] [-audit]\n"
       "           [-no-opt] [-no-checks] [-dump-ir] [-emit-c] [-quiet]\n"
-      "           [-stats-json] [-trace-out=PATH] [-remarks[=REGEX]] "
-      "file.mf\n");
+      "           [-stats-json] [-trace-out=PATH] [-remarks[=REGEX]]\n"
+      "           [-provenance-json] [-provenance-dot=PATH] "
+      "[-explain=SITE] file.mf\n");
+}
+
+/// Parses an -explain site spec of the form [file:]line[:col]: the
+/// trailing one or two ':'-separated numeric components are the line (and
+/// column); any leading file path is ignored (mfc compiles one file).
+bool parseExplainSite(const std::string &Spec, unsigned &Line,
+                      unsigned &Col) {
+  auto Numeric = [](const std::string &S) {
+    if (S.empty())
+      return false;
+    for (char C : S)
+      if (C < '0' || C > '9')
+        return false;
+    return true;
+  };
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Colon = Spec.find(':', Start);
+    Parts.push_back(Spec.substr(Start, Colon - Start));
+    if (Colon == std::string::npos)
+      break;
+    Start = Colon + 1;
+  }
+  Line = Col = 0;
+  size_t N = Parts.size();
+  if (N >= 2 && Numeric(Parts[N - 2]) && Numeric(Parts[N - 1])) {
+    Line = static_cast<unsigned>(std::stoul(Parts[N - 2]));
+    Col = static_cast<unsigned>(std::stoul(Parts[N - 1]));
+    return true;
+  }
+  if (Numeric(Parts[N - 1])) {
+    Line = static_cast<unsigned>(std::stoul(Parts[N - 1]));
+    return true;
+  }
+  return false;
 }
 
 } // namespace
@@ -68,6 +113,9 @@ int main(int argc, char **argv) {
   bool EmitC = false;
   bool Quiet = false;
   bool StatsJson = false;
+  bool ProvJson = false;
+  std::string ProvDotPath;
+  std::string ExplainSpec;
   const char *Path = nullptr;
 
   for (int I = 1; I < argc; ++I) {
@@ -108,6 +156,16 @@ int main(int argc, char **argv) {
     } else if (std::strncmp(Arg, "-remarks=", 9) == 0) {
       PO.Telemetry.Remarks = true;
       PO.Telemetry.RemarkFilter = Arg + 9;
+    } else if (std::strcmp(Arg, "-provenance-json") == 0) {
+      ProvJson = true;
+      StatsJson = true;
+      PO.Telemetry.Provenance = true;
+    } else if (std::strncmp(Arg, "-provenance-dot=", 16) == 0) {
+      ProvDotPath = Arg + 16;
+      PO.Telemetry.Provenance = true;
+    } else if (std::strncmp(Arg, "-explain=", 9) == 0) {
+      ExplainSpec = Arg + 9;
+      PO.Telemetry.Provenance = true;
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "mfc: unknown option '%s'\n", Arg);
       usage();
@@ -121,6 +179,14 @@ int main(int argc, char **argv) {
   }
   if (!Path) {
     usage();
+    return 2;
+  }
+  unsigned ExplainLine = 0, ExplainCol = 0;
+  if (!ExplainSpec.empty() &&
+      !parseExplainSite(ExplainSpec, ExplainLine, ExplainCol)) {
+    std::fprintf(stderr,
+                 "mfc: bad -explain site '%s' (expected [file:]line[:col])\n",
+                 ExplainSpec.c_str());
     return 2;
   }
 
@@ -151,6 +217,25 @@ int main(int argc, char **argv) {
       if (!R.Audit.clean())
         return 5;
     }
+  }
+
+  // Provenance is complete once compilation finished (the pipeline records
+  // the terminal Residualized events), so these can precede the run.
+  if (!ExplainSpec.empty()) {
+    std::string Chain = R.Provenance.explainSite(ExplainLine, ExplainCol);
+    if (Chain.empty())
+      std::printf("explain: no check recorded at %s\n", ExplainSpec.c_str());
+    else
+      std::printf("%s", Chain.c_str());
+  }
+  if (!ProvDotPath.empty()) {
+    std::ofstream Dot(ProvDotPath, std::ios::binary);
+    if (!Dot) {
+      std::fprintf(stderr, "mfc: cannot open dot output file '%s'\n",
+                   ProvDotPath.c_str());
+      return 2;
+    }
+    Dot << R.Provenance.toDot();
   }
 
   if (DumpIR)
@@ -214,6 +299,10 @@ int main(int argc, char **argv) {
     if (PO.Telemetry.Remarks) {
       W.key("remarks");
       R.Remarks.writeJson(W);
+    }
+    if (ProvJson) {
+      W.key("provenance");
+      R.Provenance.writeJson(W);
     }
     W.endObject();
     std::printf("%s\n", W.str().c_str());

@@ -11,11 +11,18 @@
 ///   sweep --jobs 8          # fan the matrix across 8 workers
 ///   sweep --jobs 0          # one worker per hardware thread
 ///   sweep --json            # machine-readable document on stdout
+///   sweep --remarks[=RE]    # per-decision remarks, submission order
+///   sweep --provenance      # per-run lifecycle record (+ reconcile gate)
+///   sweep -trace-out=PATH   # one merged Chrome trace, one lane per
+///                           # worker thread
 ///
 /// Results are consumed in submission order and no job count is echoed
 /// into the document, so the output is bit-identical for every --jobs
 /// value (timing columns aside) — the same determinism contract
-/// audit_all relies on (docs/parallelism.md).
+/// audit_all relies on (docs/parallelism.md). The remark and provenance
+/// streams inherit the contract: each job buffers into its own
+/// collectors, and sweep flushes the buffers in submission order, so
+/// `--jobs N` output matches a serial run byte for byte.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,13 +30,17 @@
 #include "interp/Interpreter.h"
 #include "obs/BenchSchema.h"
 #include "obs/Json.h"
+#include "obs/Trace.h"
 #include "suite/Suite.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 using namespace nascent;
@@ -63,15 +74,31 @@ struct ConfigSummary {
 
 int main(int argc, char **argv) {
   bool Json = false;
+  bool Remarks = false;
+  bool Provenance = false;
+  std::string RemarkFilter;
+  std::string TracePath;
   unsigned Jobs = 1;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0)
       Json = true;
+    else if (std::strcmp(argv[I], "--remarks") == 0)
+      Remarks = true;
+    else if (std::strncmp(argv[I], "--remarks=", 10) == 0) {
+      Remarks = true;
+      RemarkFilter = argv[I] + 10;
+    } else if (std::strcmp(argv[I], "--provenance") == 0)
+      Provenance = true;
+    else if (std::strncmp(argv[I], "-trace-out=", 11) == 0)
+      TracePath = argv[I] + 11;
     else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc)
       Jobs = resolveJobCount(
           static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10)));
     else {
-      std::fprintf(stderr, "usage: %s [--json] [--jobs N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--remarks[=REGEX]] [--provenance] "
+                   "[-trace-out=PATH] [--jobs N]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -97,6 +124,10 @@ int main(int argc, char **argv) {
         PipelineOptions PO;
         PO.Opt.Scheme = Scheme;
         PO.Opt.Implications = Mode;
+        PO.Telemetry.Trace = !TracePath.empty();
+        PO.Telemetry.Remarks = Remarks;
+        PO.Telemetry.RemarkFilter = RemarkFilter;
+        PO.Telemetry.Provenance = Provenance;
         Batch.push_back({P.Source, PO});
         Keys.push_back({P.Name, Scheme, Mode});
       }
@@ -104,6 +135,43 @@ int main(int argc, char **argv) {
   }
 
   std::vector<BatchJobResult> Results = BatchCompiler(Jobs).run(Batch);
+
+  // Each job buffered its remarks in its own collector; flushing in
+  // submission order makes the stream byte-identical to a serial run no
+  // matter how the pool interleaved the jobs.
+  if (Remarks) {
+    for (size_t I = 0; I != Results.size(); ++I) {
+      const RunKey &K = Keys[I];
+      const CompileResult &R = Results[I].Result;
+      if (!R.Success || R.Remarks.remarks().empty())
+        continue;
+      std::cerr << "== " << K.Program << " scheme="
+                << placementSchemeName(K.Scheme)
+                << " impl=" << implicationModeName(K.Mode) << "\n";
+      R.Remarks.renderText(std::cerr);
+    }
+  }
+
+  // One coherent Chrome trace: every compile's spans on its worker's
+  // lane, timestamps rebased onto the earliest collector epoch.
+  if (!TracePath.empty()) {
+    std::vector<obs::TraceMergeInput> Lanes;
+    std::set<uint32_t> Named;
+    for (const BatchJobResult &BR : Results) {
+      obs::TraceMergeInput In;
+      In.Collector = &BR.Result.Trace;
+      uint32_t Tid = BR.Result.Trace.threadTag();
+      if (Named.insert(Tid).second)
+        In.Label = "worker " + std::to_string(Tid);
+      Lanes.push_back(std::move(In));
+    }
+    std::string Err;
+    if (!obs::writeMergedTraceFile(Lanes, TracePath, &Err)) {
+      std::fprintf(stderr, "sweep: cannot write trace file: %s\n",
+                   Err.c_str());
+      return 2;
+    }
+  }
 
   obs::JsonWriter W;
   if (Json) {
@@ -150,7 +218,24 @@ int main(int argc, char **argv) {
       for (const auto &[Name, V] : Results[I].Work)
         W.kv(Name, V);
       W.endObject();
+      if (Provenance) {
+        W.key("provenance");
+        R.Provenance.writeJson(W);
+      }
       W.endObject();
+    }
+    if (Provenance) {
+      std::vector<std::string> Problems =
+          reconcileCheckProvenance(R.Provenance, R.Stats);
+      if (!Problems.empty()) {
+        std::fprintf(stderr, "sweep: %s scheme=%s impl=%s provenance "
+                             "FAILED\n",
+                     K.Program, placementSchemeName(K.Scheme),
+                     implicationModeName(K.Mode));
+        for (const std::string &P : Problems)
+          std::fprintf(stderr, "  %s\n", P.c_str());
+        ++Failures;
+      }
     }
   }
 

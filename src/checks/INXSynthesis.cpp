@@ -40,7 +40,8 @@ struct Snapshot {
 
 } // namespace
 
-INXStats nascent::synthesizeINXChecks(Function &F) {
+INXStats nascent::synthesizeINXChecks(Function &F,
+                                      obs::ProvenanceRecorder *Prov) {
   INXStats Stats;
   F.recomputePreds();
 
@@ -198,8 +199,22 @@ INXStats nascent::synthesizeINXChecks(Function &F) {
 
   // Apply payload rewrites first (no instruction indices shift), then the
   // snapshot copies (which only touch preheaders).
-  for (const CheckRewrite &R : Rewrites)
-    F.block(R.Block)->instructions()[R.InstIdx].Check = R.NewCheck;
+  for (const CheckRewrite &R : Rewrites) {
+    Instruction &I = F.block(R.Block)->instructions()[R.InstIdx];
+    std::string OldStr;
+    if (Prov && Prov->enabled())
+      OldStr = I.Check.str(F.symbols());
+    I.Check = R.NewCheck;
+    if (Prov && Prov->enabled()) {
+      obs::LifecycleEvent E = obs::makeLifecycleEvent(
+          obs::LifecycleKind::Strengthened, "INXSynthesis", F,
+          *F.block(R.Block), I,
+          "range expression rewritten into induction-expression (INX) "
+          "form over the loop's basic variable and entry snapshots");
+      E.Edge = std::move(OldStr);
+      Prov->record(std::move(E));
+    }
+  }
   for (const Snapshot &SN : Snapshots) {
     Instruction Copy;
     Copy.Op = Opcode::Copy;

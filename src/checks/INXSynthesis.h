@@ -18,6 +18,7 @@
 #define NASCENT_CHECKS_INXSYNTHESIS_H
 
 #include "ir/Function.h"
+#include "obs/Provenance.h"
 
 namespace nascent {
 
@@ -32,7 +33,10 @@ struct INXStats {
 
 /// Rewrites the checks of \p F in place. Requires the function to be in
 /// the post-lowering shape (do-loop metadata intact, preds recomputable).
-INXStats synthesizeINXChecks(Function &F);
+/// Rewritten checks keep their lifecycle tags; one Strengthened event per
+/// payload rewrite (edge = the pre-rewrite PRX form) goes to \p Prov.
+INXStats synthesizeINXChecks(Function &F,
+                             obs::ProvenanceRecorder *Prov = nullptr);
 
 } // namespace nascent
 

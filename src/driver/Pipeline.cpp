@@ -21,6 +21,8 @@ CompileResult nascent::compileSource(const std::string &Source,
     R.Trace.enable();
   if (Opts.Telemetry.Remarks)
     R.Remarks.enable(Opts.Telemetry.RemarkFilter);
+  if (Opts.Telemetry.Provenance)
+    R.Provenance.enable();
 
   // The "total" phase is recorded explicitly (not via ScopedPhase) so it
   // covers every exit path, including early returns on front-end errors.
@@ -63,6 +65,9 @@ CompileResult nascent::compileSource(const std::string &Source,
     obs::ScopedPhase Ph(R.Phases, "lower", T0, &R.Trace);
     lowerProgram(*AST, *M, Opts.Lowering);
   }
+  // Every naive check materialised by lowering opens its lifecycle here;
+  // optimizer insertions record their own Inserted events as they happen.
+  obs::recordInsertedChecks(*M, "Lowering", R.Provenance);
   bool VerifyOk;
   {
     obs::ScopedPhase Ph(R.Phases, "verify", T0, &R.Trace);
@@ -76,7 +81,7 @@ CompileResult nascent::compileSource(const std::string &Source,
   if (Opts.Source == CheckSource::INX) {
     obs::ScopedPhase Ph(R.Phases, "inx-synthesis", T0, &R.Trace);
     for (Function *F : M->functions())
-      synthesizeINXChecks(*F);
+      synthesizeINXChecks(*F, &R.Provenance);
   }
 
   if (Opts.Optimize) {
@@ -90,6 +95,7 @@ CompileResult nascent::compileSource(const std::string &Source,
       RangeCheckOptions OC = Opts.Opt;
       OC.Remarks = &R.Remarks;
       OC.Trace = &R.Trace;
+      OC.Provenance = &R.Provenance;
       R.Stats = optimizeModule(*M, OC, R.Diags);
     }
     bool PostOk;
@@ -115,6 +121,9 @@ CompileResult nascent::compileSource(const std::string &Source,
         R.Audit.emitTo(R.Diags);
     }
   }
+
+  // Close the lifecycle of every surviving check (optimized or not).
+  obs::recordResidualChecks(*M, R.Provenance);
 
   Finish();
   R.M = std::move(M);

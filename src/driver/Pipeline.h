@@ -13,6 +13,7 @@
 
 #include "audit/AuditReport.h"
 #include "frontend/Lowering.h"
+#include "obs/Provenance.h"
 #include "obs/Remarks.h"
 #include "obs/Trace.h"
 #include "opt/RangeCheckOptimizer.h"
@@ -57,6 +58,9 @@ struct PipelineOptions {
     /// Optional ECMAScript regex restricting remarks to matching check
     /// families / array names (like LLVM's -Rpass=<regex>).
     std::string RemarkFilter;
+    /// Record the full check-lifecycle provenance (one event stream per
+    /// compilation, keyed by check tag) into CompileResult::Provenance.
+    bool Provenance = false;
   } Telemetry;
 };
 
@@ -77,6 +81,11 @@ struct CompileResult {
   obs::TraceCollector Trace;
   /// Optimization remarks; empty unless Telemetry.Remarks.
   obs::RemarkCollector Remarks;
+  /// Check-lifecycle provenance; empty unless Telemetry.Provenance. Every
+  /// check's event chain starts Inserted (lowering or an optimizer
+  /// insertion) and ends in a terminal state; reconcileCheckProvenance
+  /// cross-checks the record against Stats.
+  obs::ProvenanceRecorder Provenance;
 
   /// Wall-clock seconds spent in the range-check optimization phase (the
   /// paper's "Range" column was measured on this clock).

@@ -546,7 +546,7 @@ ExecResult nascent::interpret(const Module &M, const InterpOptions &Opts) {
   for (const auto &[Site, Count] : E.SiteCounts) {
     const auto &[F, Block, Idx] = Site;
     R.CheckSites.push_back({F->name(), Block, static_cast<uint32_t>(Idx),
-                            Count});
+                            Count, F->block(Block)->instructions()[Idx].Tag});
   }
   ++NumRuns;
   NumDynChecks += R.DynChecks;

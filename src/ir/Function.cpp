@@ -82,6 +82,7 @@ std::unique_ptr<Function> Function::clone() const {
   Copy->Params = Params;
   Copy->ResultType = ResultType;
   Copy->DoLoops = DoLoops;
+  Copy->LastCheckTag = LastCheckTag;
   Copy->Blocks.reserve(Blocks.size());
   for (const auto &B : Blocks) {
     auto NB = std::make_unique<BasicBlock>(B->id(), B->name());
@@ -95,15 +96,19 @@ std::unique_ptr<Function> Function::clone() const {
 std::unique_ptr<Module> Module::clone() const {
   auto Copy = std::make_unique<Module>();
   Copy->EntryName = EntryName;
+  Copy->LastCheckTag = LastCheckTag;
   Copy->Funcs.reserve(Funcs.size());
-  for (const auto &F : Funcs)
+  for (const auto &F : Funcs) {
     Copy->Funcs.push_back(F->clone());
+    Copy->Funcs.back()->Parent = Copy.get();
+  }
   return Copy;
 }
 
 Function *Module::createFunction(const std::string &Name) {
   assert(function(Name) == nullptr && "duplicate function name");
   Funcs.push_back(std::make_unique<Function>(Name));
+  Funcs.back()->Parent = this;
   return Funcs.back().get();
 }
 

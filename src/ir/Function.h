@@ -21,6 +21,8 @@
 
 namespace nascent {
 
+class Module;
+
 /// One procedure in a Module.
 class Function {
 public:
@@ -63,6 +65,15 @@ public:
   std::vector<DoLoopInfo> &doLoops() { return DoLoops; }
   const std::vector<DoLoopInfo> &doLoops() const { return DoLoops; }
 
+  /// Allocates the next check lifecycle tag (1-based; 0 is NoCheckTag).
+  /// Delegates to the owning module's counter so tags are unique across
+  /// the whole compilation — the provenance recorder keys on them alone;
+  /// a standalone function (unit tests) falls back to a local counter.
+  /// Assignment order is the deterministic insertion order of checks, so
+  /// tags are stable across runs and job counts.
+  CheckTag allocateCheckTag();
+  CheckTag lastCheckTag() const { return LastCheckTag; }
+
   /// Deep copy: blocks, instructions, symbol table, and loop metadata.
   /// Block ids are preserved, so analyses over the copy and the source
   /// speak about the same CFG points. The audit subsystem snapshots the
@@ -76,12 +87,16 @@ public:
   auto end() const { return Blocks.end(); }
 
 private:
+  friend class Module;
+
   std::string Name;
   SymbolTable Syms;
   std::vector<SymbolID> Params;
   std::optional<ScalarType> ResultType;
   std::vector<std::unique_ptr<BasicBlock>> Blocks;
   std::vector<DoLoopInfo> DoLoops;
+  Module *Parent = nullptr;
+  CheckTag LastCheckTag = NoCheckTag;
 };
 
 /// A whole program: functions indexed by name, with a designated entry
@@ -105,10 +120,19 @@ public:
   /// Deep copy of every function plus the entry designation.
   std::unique_ptr<Module> clone() const;
 
+  /// The module-wide check lifecycle tag counter (Function::
+  /// allocateCheckTag delegates here for owned functions).
+  CheckTag allocateCheckTag() { return ++LastCheckTag; }
+
 private:
   std::vector<std::unique_ptr<Function>> Funcs;
   std::string EntryName;
+  CheckTag LastCheckTag = NoCheckTag;
 };
+
+inline CheckTag Function::allocateCheckTag() {
+  return Parent ? Parent->allocateCheckTag() : ++LastCheckTag;
+}
 
 } // namespace nascent
 

@@ -68,6 +68,7 @@ void IRBuilder::emitCheck(CheckExpr C, CheckOrigin Origin) {
   I.Op = Opcode::Check;
   I.Check = std::move(C);
   I.Origin = std::move(Origin);
+  I.Tag = F.allocateCheckTag();
   append(std::move(I));
 }
 
@@ -78,6 +79,7 @@ void IRBuilder::emitCondCheck(std::vector<CheckExpr> Guards, CheckExpr C,
   I.Guards = std::move(Guards);
   I.Check = std::move(C);
   I.Origin = std::move(Origin);
+  I.Tag = F.allocateCheckTag();
   append(std::move(I));
 }
 

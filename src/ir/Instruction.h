@@ -25,6 +25,16 @@ namespace nascent {
 using BlockID = uint32_t;
 constexpr BlockID InvalidBlock = ~BlockID(0);
 
+/// Stable per-function identity of one range check, assigned when the
+/// check is first materialised (naive lowering or optimizer insertion)
+/// and carried through every later transformation: strengthening and
+/// INX rewrites keep the tag, preheader re-hoisting moves it, and the
+/// Trap replacing a constant-false check inherits it. The provenance
+/// subsystem (obs/Provenance.h) keys check lifecycles on this tag; 0
+/// means "untagged" (checks fabricated directly by tests).
+using CheckTag = uint32_t;
+constexpr CheckTag NoCheckTag = 0;
+
 /// Instruction opcodes.
 enum class Opcode {
   // Arithmetic: Dest = op(Operands...)
@@ -151,6 +161,7 @@ struct Instruction {
   CheckExpr Check;               ///< Check/CondCheck payload
   std::vector<CheckExpr> Guards; ///< CondCheck guards (conjunction)
   CheckOrigin Origin;            ///< provenance for Check/CondCheck/Trap
+  CheckTag Tag = NoCheckTag;     ///< lifecycle identity (Check/CondCheck/Trap)
 
   std::string Callee; ///< Call target name
 

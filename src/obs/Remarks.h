@@ -113,6 +113,7 @@ struct CheckSiteCount {
   BlockID Block = 0;
   uint32_t Index = 0; ///< instruction index within the block
   uint64_t Count = 0;
+  CheckTag Tag = NoCheckTag; ///< lifecycle tag of the check at the site
 };
 
 /// Joins interpreter check-site counts back into the remark stream: one

@@ -2,6 +2,7 @@
 
 #include "obs/Json.h"
 
+#include <atomic>
 #include <ctime>
 #include <fstream>
 
@@ -32,25 +33,102 @@ double obs::threadCpuSeconds() {
   return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
 }
 
+uint32_t obs::currentThreadTag() {
+  static std::atomic<uint32_t> Next{1};
+  thread_local uint32_t Tag = Next.fetch_add(1, std::memory_order_relaxed);
+  return Tag;
+}
+
+namespace {
+
+/// One complete "X" span with an explicit tid and an absolute timestamp.
+void writeSpan(JsonWriter &W, const TraceEvent &E, uint32_t Tid,
+               uint64_t ShiftUs) {
+  W.beginObject();
+  W.kv("name", E.Name);
+  W.kv("cat", "phase");
+  W.kv("ph", "X");
+  W.kv("ts", E.StartUs + ShiftUs);
+  W.kv("dur", E.DurUs);
+  W.kv("pid", 1);
+  W.kv("tid", Tid);
+  W.endObject();
+}
+
+} // namespace
+
 std::string TraceCollector::toJson() const {
   JsonWriter W;
   W.beginObject();
   W.key("traceEvents").beginArray();
-  for (const TraceEvent &E : Events) {
-    W.beginObject();
-    W.kv("name", E.Name);
-    W.kv("cat", "phase");
-    W.kv("ph", "X");
-    W.kv("ts", E.StartUs);
-    W.kv("dur", E.DurUs);
-    W.kv("pid", 1);
-    W.kv("tid", 1);
-    W.endObject();
+  for (const TraceEvent &E : Events)
+    writeSpan(W, E, Tid, 0);
+  W.endArray();
+  W.kv("displayTimeUnit", "ms");
+  W.endObject();
+  return W.take();
+}
+
+std::string obs::mergedTraceJson(const std::vector<TraceMergeInput> &Inputs) {
+  // Anchor every collector to the earliest epoch so concurrent workers'
+  // spans land where they actually overlapped in time.
+  bool HaveEpoch = false;
+  std::chrono::steady_clock::time_point MinEpoch;
+  for (const TraceMergeInput &In : Inputs) {
+    if (!In.Collector)
+      continue;
+    if (!HaveEpoch || In.Collector->epoch() < MinEpoch) {
+      MinEpoch = In.Collector->epoch();
+      HaveEpoch = true;
+    }
+  }
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents").beginArray();
+  for (const TraceMergeInput &In : Inputs) {
+    const TraceCollector *C = In.Collector;
+    if (!C)
+      continue;
+    uint64_t ShiftUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(C->epoch() -
+                                                              MinEpoch)
+            .count());
+    if (!In.Label.empty()) {
+      W.beginObject();
+      W.kv("name", "thread_name");
+      W.kv("ph", "M");
+      W.kv("pid", 1);
+      W.kv("tid", C->threadTag());
+      W.key("args").beginObject();
+      W.kv("name", In.Label);
+      W.endObject();
+      W.endObject();
+    }
+    for (const TraceEvent &E : C->events())
+      writeSpan(W, E, C->threadTag(), ShiftUs);
   }
   W.endArray();
   W.kv("displayTimeUnit", "ms");
   W.endObject();
   return W.take();
+}
+
+bool obs::writeMergedTraceFile(const std::vector<TraceMergeInput> &Inputs,
+                               const std::string &Path, std::string *Err) {
+  std::ofstream OS(Path, std::ios::binary);
+  if (!OS) {
+    if (Err)
+      *Err = "cannot open trace output file '" + Path + "'";
+    return false;
+  }
+  OS << mergedTraceJson(Inputs) << "\n";
+  if (!OS) {
+    if (Err)
+      *Err = "error writing trace output file '" + Path + "'";
+    return false;
+  }
+  return true;
 }
 
 bool TraceCollector::writeFile(const std::string &Path,

@@ -44,12 +44,20 @@ struct TraceEvent {
   unsigned Depth = 0; ///< nesting depth at the time the scope opened
 };
 
+/// Process-stable tag of the calling thread, for Chrome-trace `tid`
+/// fields: small dense integers (1, 2, 3, ...) in first-use order, unlike
+/// opaque platform thread ids. A collector constructed on a BatchCompiler
+/// worker carries that worker's tag, so merged timelines show one lane
+/// per worker.
+uint32_t currentThreadTag();
+
 /// Collects trace spans. Disabled collectors cost one branch per scope.
 /// Events are appended when a scope closes, so children precede parents;
 /// Perfetto reconstructs the hierarchy from span containment.
 class TraceCollector {
 public:
-  TraceCollector() : Epoch(std::chrono::steady_clock::now()) {}
+  TraceCollector()
+      : Epoch(std::chrono::steady_clock::now()), Tid(currentThreadTag()) {}
 
   void enable() { Enabled = true; }
   bool enabled() const { return Enabled; }
@@ -63,6 +71,13 @@ public:
 
   const std::vector<TraceEvent> &events() const { return Events; }
 
+  /// The collector's epoch (construction time); merged exports shift each
+  /// collector's timestamps onto the earliest epoch in the set.
+  std::chrono::steady_clock::time_point epoch() const { return Epoch; }
+
+  /// The thread tag captured at construction (the `tid` of every span).
+  uint32_t threadTag() const { return Tid; }
+
   /// Chrome trace_event JSON ("traceEvents" array of complete "X" spans).
   std::string toJson() const;
 
@@ -74,9 +89,29 @@ private:
 
   bool Enabled = false;
   std::chrono::steady_clock::time_point Epoch;
+  uint32_t Tid = 1;
   std::vector<TraceEvent> Events;
   unsigned Depth = 0;
 };
+
+/// One collector to merge, optionally labelled (the label becomes a
+/// thread_name metadata record for its lane).
+struct TraceMergeInput {
+  const TraceCollector *Collector = nullptr;
+  std::string Label;
+};
+
+/// Merges several collectors into one Chrome trace document: every span
+/// keeps its collector's `tid` lane, and per-collector timestamps are
+/// shifted onto the earliest epoch among the inputs so spans from
+/// different workers line up on one timeline. Null/empty inputs are
+/// skipped.
+std::string mergedTraceJson(const std::vector<TraceMergeInput> &Inputs);
+
+/// Writes mergedTraceJson() to \p Path; false (with \p Err) on I/O error.
+bool writeMergedTraceFile(const std::vector<TraceMergeInput> &Inputs,
+                          const std::string &Path,
+                          std::string *Err = nullptr);
 
 /// RAII span. A null or disabled collector makes the scope a no-op.
 class TraceScope {

@@ -50,14 +50,23 @@ void CheckContext::buildUniverse(const std::vector<PreheaderFact> &Facts) {
   }
   // Conditional checks participate through their facts; also intern their
   // main payloads so closures can reference them.
-  std::vector<std::pair<BlockID, CheckID>> FactIds;
   for (const PreheaderFact &PF : Facts)
-    FactIds.push_back({PF.BodyEntry, U.intern(PF.Fact)});
+    StoredFacts.push_back({PF.BodyEntry, U.intern(PF.Fact), PF.Source});
   RepOrigin.resize(U.size());
 
   GenIn.assign(F.numBlocks(), DenseBitVector(U.size()));
-  for (auto &[Block, C] : FactIds)
-    GenIn[Block] |= weakerClosure(C);
+  for (const FactInfo &FI : StoredFacts)
+    GenIn[FI.Block] |= weakerClosure(FI.Id);
+}
+
+CheckTag CheckContext::preheaderWitness(BlockID B, CheckID C) const {
+  for (const FactInfo &FI : StoredFacts) {
+    if (FI.Block != B || FI.Source == NoCheckTag)
+      continue;
+    if (FI.Id == C || weakerClosure(FI.Id).test(C))
+      return FI.Source;
+  }
+  return NoCheckTag;
 }
 
 void CheckContext::applyKill(const Instruction &I,

@@ -27,10 +27,13 @@
 namespace nascent {
 
 /// A fact established by a conditional check in a loop preheader: at the
-/// entry of BodyEntry, Fact has always been performed.
+/// entry of BodyEntry, Fact has always been performed. Source is the
+/// lifecycle tag of the conditional check that established the fact, so
+/// eliminations justified by it can cite their witness.
 struct PreheaderFact {
   BlockID BodyEntry = InvalidBlock;
   CheckExpr Fact;
+  CheckTag Source = NoCheckTag;
 };
 
 /// Per-function analysis context over the current IR. Invalidated by any
@@ -67,6 +70,12 @@ public:
 
   /// Entry facts per block (universe-sized bit vectors).
   const DenseBitVector &genInBits(BlockID B) const { return GenIn[B]; }
+
+  /// The lifecycle tag of a preheader conditional check whose fact covers
+  /// \p C at the entry of \p B; NoCheckTag when no fact does (or the
+  /// covering fact carries no tag). Provenance uses this to name the
+  /// witness of fact-justified eliminations.
+  CheckTag preheaderWitness(BlockID B, CheckID C) const;
 
   /// Clears from \p Bits every check killed by \p I (a definition of any
   /// symbol in the range-expression kills the check).
@@ -130,6 +139,15 @@ private:
   std::vector<std::vector<CheckID>> InstCheck;
   std::vector<CheckOrigin> RepOrigin;
   std::vector<DenseBitVector> GenIn;
+
+  /// (body entry, interned fact, source tag) per preheader fact, kept for
+  /// witness lookups.
+  struct FactInfo {
+    BlockID Block;
+    CheckID Id;
+    CheckTag Source;
+  };
+  std::vector<FactInfo> StoredFacts;
 
   // Block-level transfer sets.
   std::vector<DenseBitVector> Kill;

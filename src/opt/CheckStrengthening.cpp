@@ -9,7 +9,8 @@ NASCENT_STAT(NumStrengthened, "opt.cs.strengthened",
 
 StrengtheningStats
 nascent::runCheckStrengthening(Function &F, const CheckContext &Ctx,
-                               obs::RemarkCollector *Remarks) {
+                               obs::RemarkCollector *Remarks,
+                               obs::ProvenanceRecorder *Prov) {
   StrengtheningStats Stats;
   const CheckUniverse &U = Ctx.universe();
   if (U.size() == 0)
@@ -50,16 +51,27 @@ nascent::runCheckStrengthening(Function &F, const CheckContext &Ctx,
           break;
         if (Before[Idx].test(M)) {
           int64_t OldBound = I.Check.bound();
+          std::string OldStr;
+          if (Prov && Prov->enabled())
+            OldStr = I.Check.str(F.symbols());
           I.Check = U.check(M);
           ++Stats.ChecksStrengthened;
           ++NumStrengthened;
+          std::string Why =
+              "bound tightened from " + std::to_string(OldBound) + " to " +
+              std::to_string(I.Check.bound()) +
+              "; the stronger family member is anticipated here";
           if (Remarks && Remarks->enabled())
             Remarks->emit(obs::makeCheckRemark(
                 obs::RemarkKind::Strengthened, "CheckStrengthening", F, *BB,
-                I.Check, I.Origin,
-                "bound tightened from " + std::to_string(OldBound) + " to " +
-                    std::to_string(I.Check.bound()) +
-                    "; the stronger family member is anticipated here"));
+                I.Check, I.Origin, Why));
+          if (Prov && Prov->enabled()) {
+            obs::LifecycleEvent E = obs::makeLifecycleEvent(
+                obs::LifecycleKind::Strengthened, "CheckStrengthening", F,
+                *BB, I, Why);
+            E.Edge = std::move(OldStr);
+            Prov->record(std::move(E));
+          }
           break;
         }
       }

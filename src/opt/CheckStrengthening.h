@@ -12,6 +12,7 @@
 #ifndef NASCENT_OPT_CHECKSTRENGTHENING_H
 #define NASCENT_OPT_CHECKSTRENGTHENING_H
 
+#include "obs/Provenance.h"
 #include "obs/Remarks.h"
 #include "opt/CheckContext.h"
 
@@ -24,10 +25,13 @@ struct StrengtheningStats {
 
 /// Replaces checks in \p F by their strongest anticipatable same-family
 /// member, in place. One Strengthened remark per replacement goes to
-/// \p Remarks when given.
+/// \p Remarks when given, and one Strengthened lifecycle event (the check
+/// keeps its tag; the event's edge carries the pre-rewrite form) to
+/// \p Prov.
 StrengtheningStats runCheckStrengthening(Function &F,
                                          const CheckContext &Ctx,
-                                         obs::RemarkCollector *Remarks = nullptr);
+                                         obs::RemarkCollector *Remarks = nullptr,
+                                         obs::ProvenanceRecorder *Prov = nullptr);
 
 } // namespace nascent
 

@@ -30,7 +30,8 @@ std::string availJustification(const CheckContext &Ctx,
 
 EliminationStats
 nascent::eliminateRedundantChecks(Function &F, const CheckContext &Ctx,
-                                  obs::RemarkCollector *Remarks) {
+                                  obs::RemarkCollector *Remarks,
+                                  obs::ProvenanceRecorder *Prov) {
   EliminationStats Stats;
   if (Ctx.universe().size() == 0)
     return Stats;
@@ -38,10 +39,17 @@ nascent::eliminateRedundantChecks(Function &F, const CheckContext &Ctx,
   F.recomputePreds();
   DataflowResult Avail = Ctx.solveAvailability();
 
+  bool WantProv = Prov && Prov->enabled();
+  // Last surviving in-block check providing each universe member's
+  // availability; the witness of "covered earlier in the block" events.
+  std::vector<const Instruction *> Provider;
+
   for (auto &BB : F) {
     BlockID B = BB->id();
     DenseBitVector Cur = Avail.In[B];
     Cur |= Ctx.genInBits(B);
+    if (WantProv)
+      Provider.assign(Ctx.universe().size(), nullptr);
 
     std::vector<size_t> ToDelete;
     for (size_t Idx = 0; Idx != BB->size(); ++Idx) {
@@ -51,14 +59,39 @@ nascent::eliminateRedundantChecks(Function &F, const CheckContext &Ctx,
         CheckID C = Ctx.idOf(B, Idx);
         if (C != InvalidCheck && Cur.test(C)) {
           ToDelete.push_back(Idx);
+          std::string Why = availJustification(Ctx, Avail, B, C);
           if (Remarks && Remarks->enabled())
             Remarks->emit(obs::makeCheckRemark(
                 obs::RemarkKind::Eliminated, "Elimination", F, *BB, I.Check,
-                I.Origin, availJustification(Ctx, Avail, B, C)));
+                I.Origin, Why));
+          if (WantProv) {
+            obs::LifecycleEvent E = obs::makeLifecycleEvent(
+                obs::LifecycleKind::SubsumedBy, "Elimination", F, *BB, I,
+                Why);
+            // Witness attribution mirrors the justification priority:
+            // all-paths availability has no single witness; a preheader
+            // fact names the hoisted conditional; otherwise an earlier
+            // check in this block covers it.
+            if (!Avail.In[B].test(C)) {
+              if (Ctx.genInBits(B).test(C)) {
+                E.OtherTag = Ctx.preheaderWitness(B, C);
+              } else if (const Instruction *W = Provider[C]) {
+                E.OtherTag = W->Tag;
+                E.Edge = W->Check.str(F.symbols());
+              }
+            }
+            Prov->record(std::move(E));
+          }
           continue; // a deleted check generates nothing
         }
       }
       Ctx.applyAvailGen(B, Idx, I, Cur);
+      if (WantProv && I.Op == Opcode::Check) {
+        CheckID C = Ctx.idOf(B, Idx);
+        if (C != InvalidCheck)
+          Ctx.weakerClosure(C).forEachSetBit(
+              [&](size_t Bit) { Provider[Bit] = &I; });
+      }
     }
     for (auto It = ToDelete.rbegin(); It != ToDelete.rend(); ++It) {
       BB->instructions().erase(BB->instructions().begin() +
@@ -72,13 +105,33 @@ nascent::eliminateRedundantChecks(Function &F, const CheckContext &Ctx,
 
 EliminationStats
 nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags,
-                               obs::RemarkCollector *Remarks) {
+                               obs::RemarkCollector *Remarks,
+                               obs::ProvenanceRecorder *Prov) {
   EliminationStats Stats;
   auto Emit = [&](obs::RemarkKind Kind, const BasicBlock &BB,
                   const Instruction &I, std::string Justification) {
     if (Remarks && Remarks->enabled())
       Remarks->emit(obs::makeCheckRemark(Kind, "Elimination", F, BB, I.Check,
                                          I.Origin, std::move(Justification)));
+  };
+  auto Event = [&](obs::LifecycleKind Kind, const BasicBlock &BB,
+                   const Instruction &I, std::string Justification) {
+    if (Prov && Prov->enabled())
+      Prov->record(obs::makeLifecycleEvent(Kind, "Elimination", F, BB, I,
+                                           std::move(Justification)));
+  };
+  // Checks swept away because a compile-time trap truncated their block:
+  // not an optimizer decision about the check itself, so they close under
+  // a pass of their own (reconciliation ignores it).
+  auto CloseTail = [&](const BasicBlock &BB,
+                       const std::vector<Instruction> &Insts, size_t From) {
+    if (!Prov || !Prov->enabled())
+      return;
+    for (size_t T = From; T < Insts.size(); ++T)
+      if (Insts[T].isRangeCheck() && Insts[T].Tag != NoCheckTag)
+        Prov->record(obs::makeLifecycleEvent(
+            obs::LifecycleKind::Eliminated, "Unreachable", F, BB, Insts[T],
+            "unreachable: a compile-time trap truncated the block"));
   };
 
   for (auto &BB : F) {
@@ -93,6 +146,8 @@ nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags,
         if (I.Check.evaluatesToTrue()) {
           Emit(obs::RemarkKind::CompileTimeDeleted, *BB, I,
                "constant check always passes");
+          Event(obs::LifecycleKind::Eliminated, *BB, I,
+                "constant check always passes");
           Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
           ++Stats.CompileTimeDeleted;
           ++NumConstDeleted;
@@ -107,9 +162,13 @@ nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags,
                                : " (array " + I.Origin.ArrayName + ")"));
         Emit(obs::RemarkKind::CompileTimeTrap, *BB, I,
              "constant check always fails; replaced by a trap");
+        Event(obs::LifecycleKind::Trapped, *BB, I,
+              "constant check always fails; replaced by a trap");
+        CloseTail(*BB, Insts, Idx + 1);
         Instruction Trap;
         Trap.Op = Opcode::Trap;
         Trap.Origin = I.Origin;
+        Trap.Tag = I.Tag;
         Insts.resize(Idx);
         Insts.push_back(std::move(Trap));
         ++Stats.CompileTimeTraps;
@@ -136,6 +195,9 @@ nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags,
           Emit(obs::RemarkKind::CompileTimeDeleted, *BB, I,
                "conditional check guarded by a constant-false guard can "
                "never fire");
+          Event(obs::LifecycleKind::Eliminated, *BB, I,
+                "conditional check guarded by a constant-false guard can "
+                "never fire");
           Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
           ++Stats.CompileTimeDeleted;
           ++NumConstDeleted;
@@ -144,6 +206,8 @@ nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags,
         if (I.Check.isCompileTimeConstant() && I.Check.evaluatesToTrue()) {
           Emit(obs::RemarkKind::CompileTimeDeleted, *BB, I,
                "constant conditional check always passes");
+          Event(obs::LifecycleKind::Eliminated, *BB, I,
+                "constant conditional check always passes");
           Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
           ++Stats.CompileTimeDeleted;
           ++NumConstDeleted;
@@ -160,9 +224,14 @@ nascent::foldCompileTimeChecks(Function &F, DiagnosticEngine &Diags,
             Emit(obs::RemarkKind::CompileTimeTrap, *BB, I,
                  "conditional check with all guards folded always fails; "
                  "replaced by a trap");
+            Event(obs::LifecycleKind::Trapped, *BB, I,
+                  "conditional check with all guards folded always fails; "
+                  "replaced by a trap");
+            CloseTail(*BB, Insts, Idx + 1);
             Instruction Trap;
             Trap.Op = Opcode::Trap;
             Trap.Origin = I.Origin;
+            Trap.Tag = I.Tag;
             Insts.resize(Idx);
             Insts.push_back(std::move(Trap));
             ++Stats.CompileTimeTraps;

@@ -313,10 +313,12 @@ nascent::classifyChecksByIntervals(const Function &F) {
 
 IntervalStats nascent::eliminateChecksByIntervals(Function &F,
                                                   DiagnosticEngine &Diags,
-                                                  obs::RemarkCollector *Remarks) {
+                                                  obs::RemarkCollector *Remarks,
+                                                  obs::ProvenanceRecorder *Prov) {
   IntervalStats Stats;
   F.recomputePreds();
   IntervalCheckClassification C = classifyChecksByIntervals(F);
+  bool WantProv = Prov && Prov->enabled();
 
   for (auto &BB : F) {
     BlockID B = BB->id();
@@ -334,6 +336,12 @@ IntervalStats nascent::eliminateChecksByIntervals(Function &F,
               "value ranges prove the check passes on every execution "
               "reaching it"));
         }
+        if (WantProv)
+          Prov->record(obs::makeLifecycleEvent(
+              obs::LifecycleKind::Eliminated, "IntervalAnalysis", F, *BB,
+              Insts[Cur],
+              "value ranges prove the check passes on every execution "
+              "reaching it"));
         Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Cur));
         ++Stats.ChecksProvedRedundant;
         ++NumIntervalDeleted;
@@ -353,9 +361,24 @@ IntervalStats nascent::eliminateChecksByIntervals(Function &F,
               I.Check, I.Origin,
               "value ranges prove the check fails on every execution "
               "reaching it; replaced by a trap"));
+        if (WantProv) {
+          Prov->record(obs::makeLifecycleEvent(
+              obs::LifecycleKind::Trapped, "IntervalAnalysis", F, *BB, I,
+              "value ranges prove the check fails on every execution "
+              "reaching it; replaced by a trap"));
+          // Checks in the truncated tail close under "Unreachable", as in
+          // foldCompileTimeChecks.
+          for (size_t T = Cur + 1; T < Insts.size(); ++T)
+            if (Insts[T].isRangeCheck() && Insts[T].Tag != NoCheckTag)
+              Prov->record(obs::makeLifecycleEvent(
+                  obs::LifecycleKind::Eliminated, "Unreachable", F, *BB,
+                  Insts[T],
+                  "unreachable: a compile-time trap truncated the block"));
+        }
         Instruction Trap;
         Trap.Op = Opcode::Trap;
         Trap.Origin = I.Origin;
+        Trap.Tag = I.Tag;
         Insts.resize(Cur);
         Insts.push_back(std::move(Trap));
         ++Stats.ChecksProvedViolating;

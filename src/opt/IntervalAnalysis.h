@@ -16,6 +16,7 @@
 #define NASCENT_OPT_INTERVALANALYSIS_H
 
 #include "ir/Function.h"
+#include "obs/Provenance.h"
 #include "obs/Remarks.h"
 #include "support/Diagnostics.h"
 
@@ -102,10 +103,12 @@ IntervalCheckClassification classifyChecksByIntervals(const Function &F);
 /// TRAP terminators and are reported into \p Diags. The analysis uses
 /// do-loop metadata to bound index variables inside their loops.
 /// IntervalEliminated / CompileTimeTrap remarks go to \p Remarks when
-/// given.
+/// given; Eliminated / Trapped lifecycle events (the Trap inherits the
+/// check's tag) go to \p Prov.
 IntervalStats eliminateChecksByIntervals(Function &F,
                                          DiagnosticEngine &Diags,
-                                         obs::RemarkCollector *Remarks = nullptr);
+                                         obs::RemarkCollector *Remarks = nullptr,
+                                         obs::ProvenanceRecorder *Prov = nullptr);
 
 } // namespace nascent
 

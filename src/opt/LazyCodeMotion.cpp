@@ -31,7 +31,8 @@ InsertPoint pointForEdge(const Function &F, BlockID From, BlockID To) {
 
 LCMStats nascent::runLazyCodeMotion(Function &F, const CheckContext &Ctx,
                                     LCMPlacement Placement,
-                                    obs::RemarkCollector *Remarks) {
+                                    obs::RemarkCollector *Remarks,
+                                    obs::ProvenanceRecorder *Prov) {
   LCMStats Stats;
   const CheckUniverse &U = Ctx.universe();
   size_t N = U.size();
@@ -191,36 +192,43 @@ LCMStats nascent::runLazyCodeMotion(Function &F, const CheckContext &Ctx,
     I.Op = Opcode::Check;
     I.Check = U.check(Id);
     I.Origin = Ctx.representativeOrigin(Id);
+    I.Tag = F.allocateCheckTag();
     return I;
   };
   const char *PlacementName = Placement == LCMPlacement::SafeEarliest
                                   ? "safe-earliest"
                                   : "latest-not-isolated";
-  auto Note = [&](BlockID B, CheckID Id, const char *Where) {
+  auto Note = [&](BlockID B, const Instruction &I, const char *Where) {
+    std::string Why = std::string("strongest family member placed at the ") +
+                      PlacementName + " point (" + Where +
+                      "); later occurrences become redundant";
     if (Remarks && Remarks->enabled())
-      Remarks->emit(obs::makeCheckRemark(
-          obs::RemarkKind::LcmInserted, "LazyCodeMotion", F, *F.block(B),
-          U.check(Id), Ctx.representativeOrigin(Id),
-          std::string("strongest family member placed at the ") +
-              PlacementName + " point (" + Where +
-              "); later occurrences become redundant"));
+      Remarks->emit(obs::makeCheckRemark(obs::RemarkKind::LcmInserted,
+                                         "LazyCodeMotion", F, *F.block(B),
+                                         I.Check, I.Origin, Why));
+    if (Prov && Prov->enabled())
+      Prov->record(obs::makeLifecycleEvent(obs::LifecycleKind::Inserted,
+                                           "LazyCodeMotion", F, *F.block(B),
+                                           I, std::move(Why)));
   };
 
   for (size_t B = 0; B != AtStart.size(); ++B) {
     size_t Pos = 0;
     for (CheckID Id : AtStart[B]) {
-      F.block(static_cast<BlockID>(B))->insertAt(Pos++, MakeCheck(Id));
+      Instruction I = MakeCheck(Id);
+      Note(static_cast<BlockID>(B), I, "block start");
+      F.block(static_cast<BlockID>(B))->insertAt(Pos++, std::move(I));
       ++Stats.ChecksInserted;
       ++NumLcmInserted;
-      Note(static_cast<BlockID>(B), Id, "block start");
     }
   }
   for (size_t B = 0; B != BeforeTerm.size(); ++B) {
     for (CheckID Id : BeforeTerm[B]) {
-      F.block(static_cast<BlockID>(B))->insertBeforeTerminator(MakeCheck(Id));
+      Instruction I = MakeCheck(Id);
+      Note(static_cast<BlockID>(B), I, "before terminator");
+      F.block(static_cast<BlockID>(B))->insertBeforeTerminator(std::move(I));
       ++Stats.ChecksInserted;
       ++NumLcmInserted;
-      Note(static_cast<BlockID>(B), Id, "before terminator");
     }
   }
   return Stats;

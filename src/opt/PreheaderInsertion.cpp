@@ -110,7 +110,8 @@ PreheaderStats
 nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
                                const PreheaderOptions &Opts,
                                std::vector<PreheaderFact> &FactsOut,
-                               obs::RemarkCollector *Remarks) {
+                               obs::RemarkCollector *Remarks,
+                               obs::ProvenanceRecorder *Prov) {
   PreheaderStats Stats;
   const CheckUniverse &U = Ctx.universe();
   if (U.size() == 0)
@@ -264,7 +265,7 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
 
     // --- materialise this loop's insertions ------------------------------
     BasicBlock *PH = F.block(DL.Preheader);
-    auto AlreadyPresent = [&](const PlannedCheck &P) {
+    auto FindPresent = [&](const PlannedCheck &P) -> const Instruction * {
       for (const Instruction &I : PH->instructions()) {
         if (I.Op != Opcode::CondCheck || I.Check != P.Check)
           continue;
@@ -282,9 +283,9 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
           }
         }
         if (Subset)
-          return true;
+          return &I;
       }
-      return false;
+      return nullptr;
     };
 
     for (auto &[FamExpr, G] : Groups) {
@@ -293,12 +294,31 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
       P.Guards = {Guard};
       P.Check = G.Inserted;
       P.Origin = G.Origin;
-      if (!AlreadyPresent(P)) {
+      CheckTag SourceTag = NoCheckTag;
+      if (const Instruction *Existing = FindPresent(P)) {
+        SourceTag = Existing->Tag;
+      } else {
         Instruction I;
         I.Op = Opcode::CondCheck;
         I.Guards = P.Guards;
         I.Check = P.Check;
         I.Origin = P.Origin;
+        I.Tag = F.allocateCheckTag();
+        SourceTag = I.Tag;
+        std::string Why =
+            G.Substituted
+                ? "linear check hoisted via loop-limit substitution, "
+                  "guarded by loop entry"
+                : "loop-invariant check hoisted to the preheader, "
+                  "guarded by loop entry";
+        if (Remarks && Remarks->enabled())
+          Remarks->emit(obs::makeCheckRemark(
+              obs::RemarkKind::CondInserted, "PreheaderInsertion", F, *PH,
+              P.Check, P.Origin, Why));
+        if (Prov && Prov->enabled())
+          Prov->record(obs::makeLifecycleEvent(
+              obs::LifecycleKind::Inserted, "PreheaderInsertion", F, *PH, I,
+              std::move(Why)));
         PH->insertBeforeTerminator(std::move(I));
         ++Stats.CondChecksInserted;
         ++NumCondInserted;
@@ -306,18 +326,9 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
           ++Stats.Substituted;
           ++NumSubstituted;
         }
-        if (Remarks && Remarks->enabled())
-          Remarks->emit(obs::makeCheckRemark(
-              obs::RemarkKind::CondInserted, "PreheaderInsertion", F, *PH,
-              P.Check, P.Origin,
-              G.Substituted
-                  ? "linear check hoisted via loop-limit substitution, "
-                    "guarded by loop entry"
-                  : "loop-invariant check hoisted to the preheader, "
-                    "guarded by loop entry"));
       }
       for (const CheckExpr &Fact : G.Facts)
-        FactsOut.push_back({DL.BodyEntry, Fact});
+        FactsOut.push_back({DL.BodyEntry, Fact, SourceTag});
     }
 
     // --- re-hoist conditional checks parked in inner preheaders ---------
@@ -400,16 +411,22 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
         P.Guards.insert(P.Guards.begin(), Guard);
         P.Check = Moved;
         P.Origin = I.Origin;
+        CheckTag MovedTag = I.Tag;
+        std::string OldStr;
+        if (Prov && Prov->enabled())
+          OldStr = I.Check.str(F.symbols());
 
         // Remove from the inner preheader and add to ours.
         BB->instructions().erase(BB->instructions().begin() +
                                  static_cast<ptrdiff_t>(Idx));
-        if (!AlreadyPresent(P)) {
+        const Instruction *MergedInto = FindPresent(P);
+        if (!MergedInto) {
           Instruction NI;
           NI.Op = Opcode::CondCheck;
           NI.Guards = P.Guards;
           NI.Check = P.Check;
           NI.Origin = P.Origin;
+          NI.Tag = MovedTag;
           PH->insertBeforeTerminator(std::move(NI));
         }
         ++Stats.Rehoisted;
@@ -418,15 +435,37 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
           ++Stats.Substituted;
           ++NumSubstituted;
         }
+        std::string Why =
+            DidSubstitute
+                ? "conditional check re-hoisted from an inner preheader "
+                  "with loop-limit re-substitution"
+                : "conditional check re-hoisted from an inner preheader "
+                  "(guards and check invariant in the outer loop)";
         if (Remarks && Remarks->enabled())
           Remarks->emit(obs::makeCheckRemark(
               obs::RemarkKind::Rehoisted, "PreheaderInsertion", F, *PH,
-              P.Check, P.Origin,
-              DidSubstitute
-                  ? "conditional check re-hoisted from an inner preheader "
-                    "with loop-limit re-substitution"
-                  : "conditional check re-hoisted from an inner preheader "
-                    "(guards and check invariant in the outer loop)"));
+              P.Check, P.Origin, Why));
+        if (Prov && Prov->enabled()) {
+          Instruction Shim;
+          Shim.Op = Opcode::CondCheck;
+          Shim.Check = P.Check;
+          Shim.Origin = P.Origin;
+          Shim.Tag = MovedTag;
+          obs::LifecycleEvent E = obs::makeLifecycleEvent(
+              obs::LifecycleKind::Moved, "PreheaderInsertion", F, *PH, Shim,
+              std::move(Why));
+          E.Edge = OldStr;
+          Prov->record(std::move(E));
+          if (MergedInto) {
+            obs::LifecycleEvent S = obs::makeLifecycleEvent(
+                obs::LifecycleKind::SubsumedBy, "PreheaderInsertion", F,
+                *PH, Shim,
+                "merged into an identical conditional check already in the "
+                "target preheader");
+            S.OtherTag = MergedInto->Tag;
+            Prov->record(std::move(S));
+          }
+        }
         // Note: facts recorded when the check was first inserted remain
         // valid -- the moved check still executes before the inner loop's
         // body on every path, with at-least-as-often guards.

@@ -27,6 +27,7 @@
 #ifndef NASCENT_OPT_PREHEADERINSERTION_H
 #define NASCENT_OPT_PREHEADERINSERTION_H
 
+#include "obs/Provenance.h"
 #include "obs/Remarks.h"
 #include "opt/CheckContext.h"
 
@@ -55,12 +56,17 @@ struct PreheaderOptions {
 
 /// Runs LI/LLS (or the restricted Markstein variant) over every do loop
 /// of \p F. Facts for the later elimination stage are appended to
-/// \p FactsOut. CondInserted / Rehoisted remarks go to \p Remarks when
-/// given.
+/// \p FactsOut, each carrying the lifecycle tag of the conditional check
+/// that establishes it. CondInserted / Rehoisted remarks go to \p Remarks
+/// when given. Lifecycle events into \p Prov: Inserted per fresh
+/// conditional check, Moved per re-hoist (the check keeps its tag), and a
+/// terminal SubsumedBy when a re-hoisted check merges into an identical
+/// conditional already in the target preheader.
 PreheaderStats runPreheaderInsertion(Function &F, const CheckContext &Ctx,
                                      const PreheaderOptions &Opts,
                                      std::vector<PreheaderFact> &FactsOut,
-                                     obs::RemarkCollector *Remarks = nullptr);
+                                     obs::RemarkCollector *Remarks = nullptr,
+                                     obs::ProvenanceRecorder *Prov = nullptr);
 
 } // namespace nascent
 

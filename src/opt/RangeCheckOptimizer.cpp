@@ -132,6 +132,7 @@ OptimizerStats nascent::optimizeFunction(Function &F,
 
   obs::RemarkCollector *RC = Opts.Remarks;
   obs::TraceCollector *TC = Opts.Trace;
+  obs::ProvenanceRecorder *PV = Opts.Provenance;
   obs::TraceScope FnScope(TC, "fn " + F.name());
 
   // PRE-style insertion works on edges: normalise the CFG first.
@@ -149,7 +150,7 @@ OptimizerStats nascent::optimizeFunction(Function &F,
     Stats.NumFamilies = Ctx.universe().numFamilies();
     obs::TraceScope Scope(TC, "strengthen");
     Stats.ChecksStrengthened =
-        runCheckStrengthening(F, Ctx, RC).ChecksStrengthened;
+        runCheckStrengthening(F, Ctx, RC, PV).ChecksStrengthened;
     break;
   }
   case PlacementScheme::SE:
@@ -163,7 +164,7 @@ OptimizerStats nascent::optimizeFunction(Function &F,
                           Opts.Scheme == PlacementScheme::SE
                               ? LCMPlacement::SafeEarliest
                               : LCMPlacement::LatestNotIsolated,
-                          RC)
+                          RC, PV)
             .ChecksInserted;
     break;
   }
@@ -177,14 +178,14 @@ OptimizerStats nascent::optimizeFunction(Function &F,
     PO.EnableLLS = Opts.Scheme != PlacementScheme::LI;
     PO.MarksteinRestriction = Opts.Scheme == PlacementScheme::MCM;
     obs::TraceScope Scope(TC, "preheader-insert");
-    PreheaderStats PS = runPreheaderInsertion(F, Ctx, PO, Facts, RC);
+    PreheaderStats PS = runPreheaderInsertion(F, Ctx, PO, Facts, RC, PV);
     Stats.CondChecksInserted = PS.CondChecksInserted;
     Stats.Rehoisted = PS.Rehoisted;
     break;
   }
   case PlacementScheme::AI: {
     obs::TraceScope Scope(TC, "interval-analysis");
-    IntervalStats IS = eliminateChecksByIntervals(F, Diags, RC);
+    IntervalStats IS = eliminateChecksByIntervals(F, Diags, RC, PV);
     Stats.IntervalDeleted = IS.ChecksProvedRedundant;
     Stats.CompileTimeTraps += IS.ChecksProvedViolating;
     break;
@@ -196,7 +197,7 @@ OptimizerStats nascent::optimizeFunction(Function &F,
       Stats.NumFamilies = Ctx.universe().numFamilies();
       PreheaderOptions PO;
       obs::TraceScope Scope(TC, "preheader-insert");
-      PreheaderStats PS = runPreheaderInsertion(F, Ctx, PO, Facts, RC);
+      PreheaderStats PS = runPreheaderInsertion(F, Ctx, PO, Facts, RC, PV);
       Stats.CondChecksInserted = PS.CondChecksInserted;
       Stats.Rehoisted = PS.Rehoisted;
     }
@@ -206,7 +207,7 @@ OptimizerStats nascent::optimizeFunction(Function &F,
       CheckContext Ctx(F, Opts.Implications, Facts, TC);
       obs::TraceScope Scope(TC, "lcm-place");
       Stats.ChecksInserted =
-          runLazyCodeMotion(F, Ctx, LCMPlacement::SafeEarliest, RC)
+          runLazyCodeMotion(F, Ctx, LCMPlacement::SafeEarliest, RC, PV)
               .ChecksInserted;
     }
     break;
@@ -223,7 +224,7 @@ OptimizerStats nascent::optimizeFunction(Function &F,
     Stats.UniverseSize = Ctx.universe().size();
     Stats.NumFamilies = Ctx.universe().numFamilies();
     obs::TraceScope Scope(TC, "eliminate");
-    EliminationStats ES = eliminateRedundantChecks(F, Ctx, RC);
+    EliminationStats ES = eliminateRedundantChecks(F, Ctx, RC, PV);
     Stats.ChecksDeleted = ES.ChecksDeleted;
   }
 
@@ -232,7 +233,7 @@ OptimizerStats nascent::optimizeFunction(Function &F,
   // totals must reconcile with the stats.
   {
     obs::TraceScope Scope(TC, "fold-consts");
-    EliminationStats ES = foldCompileTimeChecks(F, Diags, RC);
+    EliminationStats ES = foldCompileTimeChecks(F, Diags, RC, PV);
     Stats.CompileTimeDeleted = ES.CompileTimeDeleted;
     Stats.CompileTimeTraps += ES.CompileTimeTraps;
     F.recomputePreds();
@@ -249,4 +250,41 @@ OptimizerStats nascent::optimizeModule(Module &M,
   for (Function *F : M.functions())
     Total += optimizeFunction(*F, Opts, Diags);
   return Total;
+}
+
+std::vector<std::string>
+nascent::reconcileCheckProvenance(const obs::ProvenanceRecorder &PR,
+                                  const OptimizerStats &Stats) {
+  using obs::LifecycleKind;
+  std::vector<std::string> Problems = PR.validate();
+
+  auto Expect = [&](LifecycleKind K, const char *Pass, size_t Want,
+                    const char *StatName) {
+    size_t Got = PR.count(K, Pass ? Pass : "");
+    if (Got != Want)
+      Problems.push_back(
+          std::string(obs::lifecycleKindName(K)) + "(" +
+          (Pass ? Pass : "any pass") + ") events = " + std::to_string(Got) +
+          " but OptimizerStats." + StatName + " = " + std::to_string(Want));
+  };
+
+  Expect(LifecycleKind::Inserted, "LazyCodeMotion", Stats.ChecksInserted,
+         "ChecksInserted");
+  Expect(LifecycleKind::Inserted, "PreheaderInsertion",
+         Stats.CondChecksInserted, "CondChecksInserted");
+  Expect(LifecycleKind::Moved, "PreheaderInsertion", Stats.Rehoisted,
+         "Rehoisted");
+  Expect(LifecycleKind::Strengthened, "CheckStrengthening",
+         Stats.ChecksStrengthened, "ChecksStrengthened");
+  Expect(LifecycleKind::SubsumedBy, "Elimination", Stats.ChecksDeleted,
+         "ChecksDeleted");
+  Expect(LifecycleKind::Eliminated, "Elimination", Stats.CompileTimeDeleted,
+         "CompileTimeDeleted");
+  Expect(LifecycleKind::Eliminated, "IntervalAnalysis",
+         Stats.IntervalDeleted, "IntervalDeleted");
+  Expect(LifecycleKind::Trapped, nullptr, Stats.CompileTimeTraps,
+         "CompileTimeTraps");
+  Expect(LifecycleKind::Residualized, nullptr, Stats.ChecksAfter,
+         "ChecksAfter");
+  return Problems;
 }

@@ -13,6 +13,7 @@
 
 #include "ir/Function.h"
 #include "checks/CheckImplicationGraph.h"
+#include "obs/Provenance.h"
 #include "obs/Remarks.h"
 #include "obs/Trace.h"
 #include "support/Diagnostics.h"
@@ -63,6 +64,10 @@ struct RangeCheckOptions {
   obs::RemarkCollector *Remarks = nullptr;
   /// When set (and enabled), optimizer stages record trace spans.
   obs::TraceCollector *Trace = nullptr;
+  /// When set (and enabled), every transformation site appends lifecycle
+  /// events keyed by check tag; terminal totals reconcile with the stats
+  /// (see reconcileCheckProvenance).
+  obs::ProvenanceRecorder *Provenance = nullptr;
 };
 
 /// X-macro over every field of OptimizerStats, in declaration order.
@@ -115,6 +120,17 @@ OptimizerStats optimizeFunction(Function &F, const RangeCheckOptions &Opts,
 /// Optimizes every function of \p M.
 OptimizerStats optimizeModule(Module &M, const RangeCheckOptions &Opts,
                               DiagnosticEngine &Diags);
+
+/// Cross-checks a provenance record against the optimizer statistics of
+/// the same compilation: per-pass lifecycle-event totals must equal the
+/// corresponding stats fields (LazyCodeMotion insertions == ChecksInserted,
+/// Elimination subsumptions == ChecksDeleted, Residualized == ChecksAfter,
+/// and so on), and the record itself must validate (every lifecycle closed
+/// in a terminal state, no dangling witness tags). Returns one diagnostic
+/// string per violation; empty means the record reconciles exactly.
+std::vector<std::string>
+reconcileCheckProvenance(const obs::ProvenanceRecorder &PR,
+                         const OptimizerStats &Stats);
 
 } // namespace nascent
 

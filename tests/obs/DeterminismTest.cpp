@@ -102,6 +102,44 @@ TEST(Determinism, WorkCountersAreBitIdenticalAcrossJobCounts) {
   EXPECT_EQ(WorkMaps(8), Serial);
 }
 
+TEST(Determinism, ProvenanceJsonIsBitIdenticalAcrossJobCountsAndRuns) {
+  // The lifecycle record carries no timestamps and is written in pass
+  // order, so its serialised form must match byte for byte across
+  // repeated runs and across BatchCompiler job counts — the contract the
+  // sweep/audit_all --provenance documents rely on.
+  const PlacementScheme Schemes[] = {
+      PlacementScheme::NI,  PlacementScheme::CS,  PlacementScheme::LNI,
+      PlacementScheme::SE,  PlacementScheme::LI,  PlacementScheme::LLS,
+      PlacementScheme::ALL, PlacementScheme::MCM, PlacementScheme::AI};
+  const SuiteProgram *P = findSuiteProgram("vortex");
+  ASSERT_NE(P, nullptr);
+
+  std::vector<BatchJob> Batch;
+  for (PlacementScheme Scheme : Schemes) {
+    PipelineOptions PO;
+    PO.Opt.Scheme = Scheme;
+    PO.Telemetry.Provenance = true;
+    Batch.push_back({P->Source, PO});
+  }
+
+  auto ProvenanceJsons = [&Batch](unsigned Jobs) {
+    std::vector<std::string> Out;
+    for (const BatchJobResult &R : BatchCompiler(Jobs).run(Batch)) {
+      EXPECT_TRUE(R.Result.Success);
+      Out.push_back(R.Result.Provenance.toJson());
+    }
+    return Out;
+  };
+
+  std::vector<std::string> Serial = ProvenanceJsons(1);
+  for (size_t I = 0; I != Serial.size(); ++I)
+    EXPECT_NE(Serial[I].find("\"events\""), std::string::npos)
+        << placementSchemeName(Schemes[I]);
+  EXPECT_EQ(ProvenanceJsons(1), Serial); // repeated serial run
+  EXPECT_EQ(ProvenanceJsons(2), Serial);
+  EXPECT_EQ(ProvenanceJsons(8), Serial);
+}
+
 TEST(Determinism, DeltaIgnoresUnrelatedPriorWork) {
   // The snapshot delta must isolate the bracketed region: two deltas of
   // the same work are identical even when other compiles ran in between.
