@@ -16,6 +16,13 @@
 /// terminal. The provenance-smoke entries drive mfc -provenance-json
 /// through this path.
 ///
+/// A document carrying a "profileVersion" member is validated as an
+/// execution-profile document (obs/Profile.h): either a single "profile"
+/// object whose advertised totals reconcile with the per-function
+/// structure, or a profdiff "programs" comparison report. The
+/// profile-smoke entries drive mfc -profile-json and profdiff --json
+/// through this path.
+///
 /// Exits 0 on a valid document, 1 on a parse/validation failure or a
 /// failing command.
 ///
@@ -23,6 +30,7 @@
 
 #include "obs/BenchSchema.h"
 #include "obs/Json.h"
+#include "obs/Profile.h"
 #include "obs/Provenance.h"
 
 #include <cstdio>
@@ -67,8 +75,13 @@ int main(int argc, char **argv) {
                  Cmd.c_str(), Err.c_str());
     return 1;
   }
-  bool Ok = V.get("provenance") ? obs::validateProvenanceDocument(V, &Err)
-                                : obs::validateBenchDocument(V, &Err);
+  bool Ok;
+  if (V.get("profileVersion"))
+    Ok = obs::validateProfileDocument(V, &Err);
+  else if (V.get("provenance"))
+    Ok = obs::validateProvenanceDocument(V, &Err);
+  else
+    Ok = obs::validateBenchDocument(V, &Err);
   if (!Ok) {
     std::fprintf(stderr,
                  "json_check: '%s' output fails schema validation: %s\n",

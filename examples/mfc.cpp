@@ -37,7 +37,16 @@
 ///                                       justification graph as DOT
 ///     -explain=SITE                     print the full decision chain of
 ///                                       every check originating at SITE
-///                                       ([file:]line[:col])
+///                                       ([file:]line[:col]) or of one
+///                                       check by lifecycle tag (tag:N —
+///                                       the form profdiff reports)
+///     -profile                          print a human-readable execution
+///                                       profile (hot check sites, loop
+///                                       trip counts, densities) to stderr
+///     -profile-json[=PATH]              write the versioned execution-
+///                                       profile envelope to PATH (or
+///                                       stdout); with -emit-c, emit the
+///                                       profile counter table into the C
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,6 +58,7 @@
 #include "obs/Json.h"
 #include "obs/StatRegistry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -66,7 +76,8 @@ void usage() {
       "           [-no-opt] [-no-checks] [-dump-ir] [-emit-c] [-quiet]\n"
       "           [-stats-json] [-trace-out=PATH] [-remarks[=REGEX]]\n"
       "           [-provenance-json] [-provenance-dot=PATH] "
-      "[-explain=SITE] file.mf\n");
+      "[-explain=SITE|tag:N]\n"
+      "           [-profile] [-profile-json[=PATH]] file.mf\n");
 }
 
 /// Parses an -explain site spec of the form [file:]line[:col]: the
@@ -114,6 +125,9 @@ int main(int argc, char **argv) {
   bool Quiet = false;
   bool StatsJson = false;
   bool ProvJson = false;
+  bool ProfileText = false;
+  bool ProfileJson = false;
+  std::string ProfileJsonPath;
   std::string ProvDotPath;
   std::string ExplainSpec;
   const char *Path = nullptr;
@@ -166,6 +180,16 @@ int main(int argc, char **argv) {
     } else if (std::strncmp(Arg, "-explain=", 9) == 0) {
       ExplainSpec = Arg + 9;
       PO.Telemetry.Provenance = true;
+    } else if (std::strcmp(Arg, "-profile") == 0) {
+      ProfileText = true;
+      PO.Telemetry.Profile = true;
+    } else if (std::strcmp(Arg, "-profile-json") == 0) {
+      ProfileJson = true;
+      PO.Telemetry.Profile = true;
+    } else if (std::strncmp(Arg, "-profile-json=", 14) == 0) {
+      ProfileJson = true;
+      ProfileJsonPath = Arg + 14;
+      PO.Telemetry.Profile = true;
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "mfc: unknown option '%s'\n", Arg);
       usage();
@@ -182,11 +206,33 @@ int main(int argc, char **argv) {
     return 2;
   }
   unsigned ExplainLine = 0, ExplainCol = 0;
-  if (!ExplainSpec.empty() &&
-      !parseExplainSite(ExplainSpec, ExplainLine, ExplainCol)) {
+  CheckTag ExplainTag = NoCheckTag;
+  if (!ExplainSpec.empty()) {
+    if (ExplainSpec.rfind("tag:", 0) == 0) {
+      std::string Num = ExplainSpec.substr(4);
+      bool Numeric = !Num.empty();
+      for (char C : Num)
+        if (C < '0' || C > '9')
+          Numeric = false;
+      if (!Numeric) {
+        std::fprintf(stderr, "mfc: bad -explain tag '%s' (expected tag:N)\n",
+                     ExplainSpec.c_str());
+        return 2;
+      }
+      ExplainTag = static_cast<CheckTag>(std::stoul(Num));
+    } else if (!parseExplainSite(ExplainSpec, ExplainLine, ExplainCol)) {
+      std::fprintf(
+          stderr,
+          "mfc: bad -explain site '%s' (expected [file:]line[:col] or "
+          "tag:N)\n",
+          ExplainSpec.c_str());
+      return 2;
+    }
+  }
+  if (StatsJson && ProfileJson && ProfileJsonPath.empty()) {
     std::fprintf(stderr,
-                 "mfc: bad -explain site '%s' (expected [file:]line[:col])\n",
-                 ExplainSpec.c_str());
+                 "mfc: -stats-json and -profile-json both write to stdout; "
+                 "use -profile-json=PATH\n");
     return 2;
   }
 
@@ -222,7 +268,10 @@ int main(int argc, char **argv) {
   // Provenance is complete once compilation finished (the pipeline records
   // the terminal Residualized events), so these can precede the run.
   if (!ExplainSpec.empty()) {
-    std::string Chain = R.Provenance.explainSite(ExplainLine, ExplainCol);
+    std::string Chain = ExplainTag != NoCheckTag
+                            ? R.Provenance.explainTag(ExplainTag)
+                            : R.Provenance.explainSite(ExplainLine,
+                                                       ExplainCol);
     if (Chain.empty())
       std::printf("explain: no check recorded at %s\n", ExplainSpec.c_str());
     else
@@ -241,7 +290,9 @@ int main(int argc, char **argv) {
   if (DumpIR)
     std::printf("%s", printModule(*R.M).c_str());
   if (EmitC) {
-    std::printf("%s", emitModuleToC(*R.M).c_str());
+    CEmitOptions CO;
+    CO.Profile = PO.Telemetry.Profile;
+    std::printf("%s", emitModuleToC(*R.M, CO).c_str());
     return 0;
   }
 
@@ -252,6 +303,8 @@ int main(int argc, char **argv) {
     // Joining dynamic counts onto residual-check remarks needs per-site
     // counters.
     IO.CountCheckSites = PO.Telemetry.Remarks;
+    if (PO.Telemetry.Profile)
+      IO.Profile = &R.Profile;
     E = interpret(*R.M, IO);
   }
   if (!Quiet)
@@ -261,6 +314,65 @@ int main(int argc, char **argv) {
   if (PO.Telemetry.Remarks) {
     emitResidualCheckRemarks(*R.M, E.CheckSites, R.Remarks);
     R.Remarks.renderText(std::cerr);
+  }
+
+  if (ProfileJson) {
+    std::string Envelope = R.Profile.toEnvelopeJson();
+    if (ProfileJsonPath.empty()) {
+      std::printf("%s\n", Envelope.c_str());
+    } else {
+      std::ofstream Out(ProfileJsonPath, std::ios::binary);
+      if (!Out) {
+        std::fprintf(stderr, "mfc: cannot open profile output file '%s'\n",
+                     ProfileJsonPath.c_str());
+        return 2;
+      }
+      Out << Envelope << "\n";
+    }
+  }
+  if (ProfileText) {
+    const obs::ExecutionProfile &P = R.Profile;
+    std::fprintf(stderr,
+                 "[profile] runs=%llu trapped=%llu dynChecks=%llu "
+                 "dynTraps=%llu accesses=%llu checksPerAccess=%.4f "
+                 "residualSites=%llu\n",
+                 (unsigned long long)P.runs(),
+                 (unsigned long long)P.trappedRuns(),
+                 (unsigned long long)P.dynChecks(),
+                 (unsigned long long)P.dynTraps(),
+                 (unsigned long long)P.arrayAccesses(), P.checksPerAccess(),
+                 (unsigned long long)P.residualSites());
+    struct HotSite {
+      const obs::CheckSiteProfile *S;
+      const obs::FunctionProfile *F;
+    };
+    std::vector<HotSite> Hot;
+    for (const obs::FunctionProfile &FP : P.functions())
+      for (const obs::CheckSiteProfile &S : FP.Sites)
+        Hot.push_back({&S, &FP});
+    std::stable_sort(Hot.begin(), Hot.end(),
+                     [](const HotSite &A, const HotSite &B) {
+                       return A.S->Hits > B.S->Hits;
+                     });
+    size_t Shown = 0;
+    for (const HotSite &H : Hot) {
+      if (Shown++ == 10)
+        break;
+      std::fprintf(stderr,
+                   "[profile]   t%u %s bb%u#%u %s hits=%llu traps=%llu\n",
+                   H.S->Tag, H.F->Name.c_str(), H.S->Block, H.S->Index,
+                   H.S->CheckStr.c_str(), (unsigned long long)H.S->Hits,
+                   (unsigned long long)H.S->Traps);
+    }
+    for (const obs::FunctionProfile &FP : P.functions())
+      for (const obs::LoopProfile &L : FP.Loops)
+        std::fprintf(
+            stderr,
+            "[profile]   loop %s bb%u entries=%llu iterations=%llu "
+            "partial=%llu\n",
+            FP.Name.c_str(), L.Header, (unsigned long long)L.Entries,
+            (unsigned long long)L.Iterations,
+            (unsigned long long)L.PartialEntries);
   }
 
   if (!TracePath.empty()) {

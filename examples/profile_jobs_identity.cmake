@@ -1,0 +1,33 @@
+# Byte-identity gate for `sweep --profile` across job counts: the profile
+# document must not depend on how the batch was scheduled. Run with
+#   cmake -DSWEEP=<path-to-sweep> -P profile_jobs_identity.cmake
+if(NOT DEFINED SWEEP)
+  message(FATAL_ERROR "pass -DSWEEP=<path to the sweep binary>")
+endif()
+
+foreach(mode "--json" "")
+  set(outputs "")
+  foreach(jobs 1 2 8)
+    if(mode STREQUAL "")
+      execute_process(COMMAND ${SWEEP} --profile --jobs ${jobs}
+        OUTPUT_VARIABLE out RESULT_VARIABLE rc ERROR_QUIET)
+    else()
+      execute_process(COMMAND ${SWEEP} --profile ${mode} --jobs ${jobs}
+        OUTPUT_VARIABLE out RESULT_VARIABLE rc ERROR_QUIET)
+    endif()
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "sweep --profile ${mode} --jobs ${jobs} exited with ${rc}")
+    endif()
+    list(APPEND outputs "${out}")
+  endforeach()
+  list(GET outputs 0 first)
+  foreach(idx 1 2)
+    list(GET outputs ${idx} other)
+    if(NOT first STREQUAL other)
+      message(FATAL_ERROR
+        "sweep --profile ${mode} output differs across --jobs values")
+    endif()
+  endforeach()
+endforeach()
+message(STATUS "sweep --profile output is byte-identical at --jobs 1/2/8")

@@ -13,12 +13,15 @@
 ///   sweep --json            # machine-readable document on stdout
 ///   sweep --remarks[=RE]    # per-decision remarks, submission order
 ///   sweep --provenance      # per-run lifecycle record (+ reconcile gate)
+///   sweep --profile         # interpret every compiled result and report
+///                           # dynamic check density per configuration
 ///   sweep -trace-out=PATH   # one merged Chrome trace, one lane per
 ///                           # worker thread
 ///
 /// Results are consumed in submission order and no job count is echoed
 /// into the document, so the output is bit-identical for every --jobs
-/// value (timing columns aside) — the same determinism contract
+/// value (timing columns aside; --profile drops them so its whole output
+/// is byte-identical across job counts) — the same determinism contract
 /// audit_all relies on (docs/parallelism.md). The remark and provenance
 /// streams inherit the contract: each job buffers into its own
 /// collectors, and sweep flushes the buffers in submission order, so
@@ -68,6 +71,11 @@ struct ConfigSummary {
   double OptimizeWall = 0;
   double OptimizeCpu = 0;
   unsigned Runs = 0;
+  // --profile aggregates (dynamic, from interpreting each result).
+  uint64_t DynChecks = 0;
+  uint64_t DynTraps = 0;
+  uint64_t Accesses = 0;
+  uint64_t TrappedRuns = 0;
 };
 
 } // namespace
@@ -76,6 +84,7 @@ int main(int argc, char **argv) {
   bool Json = false;
   bool Remarks = false;
   bool Provenance = false;
+  bool Profile = false;
   std::string RemarkFilter;
   std::string TracePath;
   unsigned Jobs = 1;
@@ -89,6 +98,8 @@ int main(int argc, char **argv) {
       RemarkFilter = argv[I] + 10;
     } else if (std::strcmp(argv[I], "--provenance") == 0)
       Provenance = true;
+    else if (std::strcmp(argv[I], "--profile") == 0)
+      Profile = true;
     else if (std::strncmp(argv[I], "-trace-out=", 11) == 0)
       TracePath = argv[I] + 11;
     else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc)
@@ -97,7 +108,7 @@ int main(int argc, char **argv) {
     else {
       std::fprintf(stderr,
                    "usage: %s [--json] [--remarks[=REGEX]] [--provenance] "
-                   "[-trace-out=PATH] [--jobs N]\n",
+                   "[--profile] [-trace-out=PATH] [--jobs N]\n",
                    argv[0]);
       return 2;
     }
@@ -128,6 +139,7 @@ int main(int argc, char **argv) {
         PO.Telemetry.Remarks = Remarks;
         PO.Telemetry.RemarkFilter = RemarkFilter;
         PO.Telemetry.Provenance = Provenance;
+        PO.Telemetry.Profile = Profile;
         Batch.push_back({P.Source, PO});
         Keys.push_back({P.Name, Scheme, Mode});
       }
@@ -135,6 +147,20 @@ int main(int argc, char **argv) {
   }
 
   std::vector<BatchJobResult> Results = BatchCompiler(Jobs).run(Batch);
+
+  // --profile: run every compiled module once, streaming dynamic counts
+  // into its attached profile. Serial and in submission order, so the
+  // profile documents are byte-identical for every --jobs value.
+  if (Profile) {
+    for (BatchJobResult &BR : Results) {
+      CompileResult &R = BR.Result;
+      if (!R.Success)
+        continue;
+      InterpOptions IO;
+      IO.Profile = &R.Profile;
+      interpret(*R.M, IO);
+    }
+  }
 
   // Each job buffered its remarks in its own collector; flushing in
   // submission order makes the stream byte-identical to a serial run no
@@ -205,6 +231,12 @@ int main(int argc, char **argv) {
     S.OptimizeWall += R.optimizeWallSeconds();
     S.OptimizeCpu += R.optimizeCpuSeconds();
     ++S.Runs;
+    if (Profile) {
+      S.DynChecks += R.Profile.dynChecks();
+      S.DynTraps += R.Profile.dynTraps();
+      S.Accesses += R.Profile.arrayAccesses();
+      S.TrappedRuns += R.Profile.trappedRuns();
+    }
     if (Json) {
       W.beginObject();
       W.kv("program", K.Program);
@@ -221,6 +253,11 @@ int main(int argc, char **argv) {
       if (Provenance) {
         W.key("provenance");
         R.Provenance.writeJson(W);
+      }
+      if (Profile) {
+        W.kv("profileVersion", obs::ProfileVersion);
+        W.key("profile");
+        R.Profile.writeJson(W);
       }
       W.endObject();
     }
@@ -253,8 +290,22 @@ int main(int argc, char **argv) {
       W.kv("deleted", S.Deleted);
       W.kv("inserted", S.Inserted);
       W.kv("wordOps", S.WordOps);
-      W.kv("optimizeWallSeconds", S.OptimizeWall);
-      W.kv("optimizeCpuSeconds", S.OptimizeCpu);
+      if (Profile) {
+        // Dynamic density instead of timings: everything here is
+        // deterministic, keeping --profile output byte-identical across
+        // --jobs values.
+        W.kv("dynChecks", S.DynChecks);
+        W.kv("dynTraps", S.DynTraps);
+        W.kv("arrayAccesses", S.Accesses);
+        W.kv("checksPerAccess",
+             S.Accesses ? static_cast<double>(S.DynChecks) /
+                              static_cast<double>(S.Accesses)
+                        : 0.0);
+        W.kv("trappedRuns", S.TrappedRuns);
+      } else {
+        W.kv("optimizeWallSeconds", S.OptimizeWall);
+        W.kv("optimizeCpuSeconds", S.OptimizeCpu);
+      }
       W.endObject();
     }
     W.endArray();
@@ -265,18 +316,42 @@ int main(int argc, char **argv) {
 
   std::printf("sweep: %zu compilations, %u failures\n\n", Results.size(),
               Failures);
-  TextTable T({"scheme", "impl", "static", "deleted", "inserted", "word ops",
-               "opt wall", "opt cpu"});
-  for (const auto &[Key, S] : Summaries)
-    T.addRow({Key.first, Key.second,
-              formatString("%llu",
-                           static_cast<unsigned long long>(S.StaticChecks)),
-              formatString("%llu", static_cast<unsigned long long>(S.Deleted)),
-              formatString("%llu",
-                           static_cast<unsigned long long>(S.Inserted)),
-              formatString("%llu", static_cast<unsigned long long>(S.WordOps)),
-              formatString("%.3f", S.OptimizeWall),
-              formatString("%.3f", S.OptimizeCpu)});
+  std::vector<std::string> Cols = {"scheme",   "impl",     "static",
+                                   "deleted",  "inserted", "word ops"};
+  if (Profile) {
+    Cols.push_back("dyn checks");
+    Cols.push_back("accesses");
+    Cols.push_back("chk/acc");
+    Cols.push_back("trapped");
+  } else {
+    Cols.push_back("opt wall");
+    Cols.push_back("opt cpu");
+  }
+  TextTable T(Cols);
+  for (const auto &[Key, S] : Summaries) {
+    std::vector<std::string> Row = {
+        Key.first, Key.second,
+        formatString("%llu", static_cast<unsigned long long>(S.StaticChecks)),
+        formatString("%llu", static_cast<unsigned long long>(S.Deleted)),
+        formatString("%llu", static_cast<unsigned long long>(S.Inserted)),
+        formatString("%llu", static_cast<unsigned long long>(S.WordOps))};
+    if (Profile) {
+      Row.push_back(
+          formatString("%llu", static_cast<unsigned long long>(S.DynChecks)));
+      Row.push_back(
+          formatString("%llu", static_cast<unsigned long long>(S.Accesses)));
+      Row.push_back(formatString(
+          "%.4f", S.Accesses ? static_cast<double>(S.DynChecks) /
+                                   static_cast<double>(S.Accesses)
+                             : 0.0));
+      Row.push_back(formatString(
+          "%llu", static_cast<unsigned long long>(S.TrappedRuns)));
+    } else {
+      Row.push_back(formatString("%.3f", S.OptimizeWall));
+      Row.push_back(formatString("%.3f", S.OptimizeCpu));
+    }
+    T.addRow(Row);
+  }
   std::printf("%s", T.render().c_str());
   return Failures ? 1 : 0;
 }

@@ -3,16 +3,78 @@
 #include "support/StringUtils.h"
 
 #include <cassert>
+#include <map>
 #include <set>
 
 using namespace nascent;
 
 namespace {
 
+/// Global profile-counter layout: every check site, block, and array of
+/// the module gets one slot in a static counter table, enumerated in
+/// deterministic (function, block id, instruction index) order — the same
+/// order obs::ExecutionProfile::attach uses, so the atexit dump lines and
+/// the interpreter profile line up site for site.
+struct ProfileTables {
+  struct Site {
+    std::string Func;
+    BlockID Block;
+    uint32_t Index;
+    CheckTag Tag;
+  };
+  struct Block {
+    std::string Func;
+    BlockID Id;
+    std::string Name;
+  };
+  struct Arr {
+    std::string Func;
+    std::string Name;
+  };
+  std::vector<Site> Sites;
+  std::vector<Block> Blocks;
+  std::vector<Arr> Arrays;
+
+  /// Per-function lookup for the emitter's hot path.
+  struct FnSlots {
+    size_t BlockBase = 0;
+    std::map<std::pair<BlockID, uint32_t>, size_t> SiteAt;
+    std::map<SymbolID, size_t> ArrayAt;
+  };
+  std::map<std::string, FnSlots> ByFunc;
+
+  static ProfileTables build(const Module &M) {
+    ProfileTables T;
+    for (const Function *F : M.functions()) {
+      FnSlots &S = T.ByFunc[F->name()];
+      S.BlockBase = T.Blocks.size();
+      for (const auto &BB : *F)
+        T.Blocks.push_back({F->name(), BB->id(), BB->name()});
+      for (SymbolID Sym = 0; Sym != F->symbols().size(); ++Sym)
+        if (F->symbols().get(Sym).isArray()) {
+          S.ArrayAt[Sym] = T.Arrays.size();
+          T.Arrays.push_back({F->name(), F->symbols().get(Sym).Name});
+        }
+      for (const auto &BB : *F) {
+        const auto &Insts = BB->instructions();
+        for (uint32_t Idx = 0; Idx != Insts.size(); ++Idx)
+          if (Insts[Idx].isRangeCheck()) {
+            S.SiteAt[{BB->id(), Idx}] = T.Sites.size();
+            T.Sites.push_back({F->name(), BB->id(), Idx, Insts[Idx].Tag});
+          }
+      }
+    }
+    return T;
+  }
+};
+
 /// Per-function emission context.
 class FunctionEmitter {
 public:
-  FunctionEmitter(const Module &M, const Function &F) : M(M), F(F) {}
+  FunctionEmitter(const Module &M, const Function &F,
+                  const ProfileTables *PT = nullptr)
+      : M(M), F(F), PT(PT),
+        Slots(PT ? &PT->ByFunc.at(F.name()) : nullptr) {}
 
   /// C-safe name of a symbol: user variables become v_<name>, temps keep
   /// a t<N> shape ("%t3" -> "t3"), arrays become a_<name>.
@@ -121,8 +183,12 @@ public:
     Out += "  goto bb0;\n";
     for (const auto &BB : F) {
       Out += "bb" + std::to_string(BB->id()) + ": ;\n";
-      for (const Instruction &I : BB->instructions())
-        Out += emitInstruction(I);
+      if (Slots)
+        Out += "  nck_count(&nck_blocks[" +
+               std::to_string(Slots->BlockBase + BB->id()) + "]);\n";
+      const auto &Insts = BB->instructions();
+      for (uint32_t Idx = 0; Idx != Insts.size(); ++Idx)
+        Out += emitInstruction(Insts[Idx], BB->id(), Idx);
       if (!BB->hasTerminator())
         Out += "  return" +
                std::string(F.resultType() ? " 0" : "") + ";\n";
@@ -201,7 +267,8 @@ private:
     return "(" + A + " " + Op + " " + B + ") ? 1 : 0";
   }
 
-  std::string emitInstruction(const Instruction &I) {
+  std::string emitInstruction(const Instruction &I, BlockID Block,
+                              uint32_t Idx) {
     std::string Out;
     auto Line = [&](const std::string &S) { Out += "  " + S + "\n"; };
 
@@ -215,6 +282,20 @@ private:
            ";");
     else
       Line("nck_instrs++;");
+
+    // Profile counters: a site's hit counter bumps on every execution
+    // (even when CondCheck guards are false, matching the interpreter's
+    // noteCheck), the trap counter right before the trap exit.
+    size_t SiteSlot = ~size_t(0);
+    if (Slots && I.isRangeCheck()) {
+      SiteSlot = Slots->SiteAt.at({Block, Idx});
+      Line("nck_count(&nck_site_hits[" + std::to_string(SiteSlot) + "]);");
+    }
+    std::string TrapProfile =
+        SiteSlot == ~size_t(0)
+            ? std::string()
+            : "nck_count(&nck_site_traps[" + std::to_string(SiteSlot) +
+                  "]); ";
 
     switch (I.Op) {
     case Opcode::Add:
@@ -269,19 +350,26 @@ private:
       const Symbol &A = F.symbols().get(I.Array);
       Line(symName(I.Dest) + " = " + symName(I.Array) + "[" +
            flatIndex(A, I.Indices) + "];");
+      if (Slots)
+        Line("nck_count(&nck_arr_loads[" +
+             std::to_string(Slots->ArrayAt.at(I.Array)) + "]);");
       break;
     }
     case Opcode::Store: {
       const Symbol &A = F.symbols().get(I.Array);
       Line(symName(I.Array) + "[" + flatIndex(A, I.Indices) + "] = " +
            operand(I.Operands[0]) + ";");
+      if (Slots)
+        Line("nck_count(&nck_arr_stores[" +
+             std::to_string(Slots->ArrayAt.at(I.Array)) + "]);");
       break;
     }
     case Opcode::Check:
-      Line("if (!(" + checkCond(I.Check) + ")) nck_trap(\"" +
+      Line("if (!(" + checkCond(I.Check) + ")) { " + TrapProfile +
+           "nck_trap(\"" +
            (I.Origin.ArrayName.empty() ? std::string("range check")
                                        : "array " + I.Origin.ArrayName) +
-           "\");");
+           "\"); }");
       break;
     case Opcode::CondCheck: {
       std::string Guards;
@@ -290,11 +378,11 @@ private:
           Guards += " && ";
         Guards += "(" + checkCond(G) + ")";
       }
-      Line("if (" + Guards + ") { if (!(" + checkCond(I.Check) +
-           ")) nck_trap(\"" +
+      Line("if (" + Guards + ") { if (!(" + checkCond(I.Check) + ")) { " +
+           TrapProfile + "nck_trap(\"" +
            (I.Origin.ArrayName.empty() ? std::string("range check")
                                        : "array " + I.Origin.ArrayName) +
-           "\"); }");
+           "\"); } }");
       break;
     }
     case Opcode::Trap:
@@ -361,16 +449,70 @@ private:
 
   const Module &M;
   const Function &F;
+  const ProfileTables *PT = nullptr;
+  const ProfileTables::FnSlots *Slots = nullptr;
 };
+
+/// The static counter tables, the saturating bump helper, and the atexit
+/// dump. Every table has at least one slot so empty modules stay valid C.
+std::string emitProfileRuntime(const ProfileTables &T) {
+  auto Dim = [](size_t N) { return std::to_string(N ? N : 1); };
+  std::string Out;
+  Out += "/* Execution-profile counter tables: one slot per check site, "
+         "block, and array. */\n";
+  Out += "static unsigned long long nck_site_hits[" + Dim(T.Sites.size()) +
+         "], nck_site_traps[" + Dim(T.Sites.size()) + "];\n";
+  Out += "static unsigned long long nck_blocks[" + Dim(T.Blocks.size()) +
+         "];\n";
+  Out += "static unsigned long long nck_arr_loads[" +
+         Dim(T.Arrays.size()) + "], nck_arr_stores[" +
+         Dim(T.Arrays.size()) + "];\n\n";
+  Out += "static void nck_count(unsigned long long *C) {\n"
+         "  if (*C != 0xFFFFFFFFFFFFFFFFULL) ++*C; /* saturate, don't wrap "
+         "*/\n}\n\n";
+  Out += "static void nck_profile_dump(void) {\n";
+  for (size_t I = 0; I != T.Sites.size(); ++I) {
+    const ProfileTables::Site &S = T.Sites[I];
+    Out += "  fprintf(stderr, \"[nascent-profsite] func=" + S.Func +
+           " block=" + std::to_string(S.Block) +
+           " index=" + std::to_string(S.Index) +
+           " tag=" + std::to_string(S.Tag) +
+           " hits=%llu traps=%llu\\n\", nck_site_hits[" +
+           std::to_string(I) + "], nck_site_traps[" + std::to_string(I) +
+           "]);\n";
+  }
+  for (size_t I = 0; I != T.Blocks.size(); ++I) {
+    const ProfileTables::Block &B = T.Blocks[I];
+    Out += "  fprintf(stderr, \"[nascent-profblock] func=" + B.Func +
+           " block=" + std::to_string(B.Id) +
+           " count=%llu\\n\", nck_blocks[" + std::to_string(I) + "]);\n";
+  }
+  for (size_t I = 0; I != T.Arrays.size(); ++I) {
+    const ProfileTables::Arr &A = T.Arrays[I];
+    Out += "  fprintf(stderr, \"[nascent-profarray] func=" + A.Func +
+           " array=" + A.Name +
+           " loads=%llu stores=%llu\\n\", nck_arr_loads[" +
+           std::to_string(I) + "], nck_arr_stores[" + std::to_string(I) +
+           "]);\n";
+  }
+  Out += "}\n\n";
+  return Out;
+}
 
 } // namespace
 
-std::string nascent::emitModuleToC(const Module &M) {
+std::string nascent::emitModuleToC(const Module &M,
+                                   const CEmitOptions &Opts) {
+  ProfileTables PT;
+  if (Opts.Profile)
+    PT = ProfileTables::build(M);
   std::string Out;
   Out += "/* Generated by nascent-rangecheck's instrumented-C back end. */\n";
   Out += "#include <stdio.h>\n#include <stdlib.h>\n\n";
   Out += "static unsigned long long nck_instrs = 0, nck_checks = 0, "
          "nck_condchecks = 0;\n\n";
+  if (Opts.Profile)
+    Out += emitProfileRuntime(PT);
   Out += "static void nck_report(void) {\n"
          "  fprintf(stderr, \"[nascent-counts] instrs=%llu checks=%llu "
          "condchecks=%llu\\n\",\n"
@@ -394,13 +536,15 @@ std::string nascent::emitModuleToC(const Module &M) {
   Out += "\n";
 
   for (const Function *F : M.functions()) {
-    FunctionEmitter FE(M, *F);
+    FunctionEmitter FE(M, *F, Opts.Profile ? &PT : nullptr);
     Out += "static " + FE.signature() + " {\n";
     Out += FE.emitBody();
     Out += "}\n\n";
   }
 
-  Out += "int main(void) {\n  fn_" + M.entryName() +
-         "();\n  nck_report();\n  return 0;\n}\n";
+  Out += "int main(void) {\n";
+  if (Opts.Profile)
+    Out += "  atexit(nck_profile_dump); /* survives the trap exit */\n";
+  Out += "  fn_" + M.entryName() + "();\n  nck_report();\n  return 0;\n}\n";
   return Out;
 }

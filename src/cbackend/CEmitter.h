@@ -16,6 +16,19 @@
 /// On a range-check failure it prints "[nascent-trap] <message>" to
 /// stderr and exits with status 2.
 ///
+/// With CEmitOptions::Profile the program additionally carries a static
+/// counter table (saturating, like the interpreter's profile counters)
+/// and an atexit dump that emits one stderr line per check site, block,
+/// and array — the compiled-execution half of the obs::ExecutionProfile
+/// parity contract (docs/profiling.md):
+///
+///   [nascent-profsite] func=<f> block=<b> index=<i> tag=<t> hits=<h> traps=<t>
+///   [nascent-profblock] func=<f> block=<b> count=<c>
+///   [nascent-profarray] func=<f> array=<a> loads=<l> stores=<s>
+///
+/// The dump is registered with atexit before the program runs, so the
+/// counters survive a trap exit.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NASCENT_CBACKEND_CEMITTER_H
@@ -27,8 +40,14 @@
 
 namespace nascent {
 
+/// C back-end switches.
+struct CEmitOptions {
+  /// Emit the per-site/block/array profile counter table and atexit dump.
+  bool Profile = false;
+};
+
 /// Translates \p M into a complete C translation unit.
-std::string emitModuleToC(const Module &M);
+std::string emitModuleToC(const Module &M, const CEmitOptions &Opts = {});
 
 } // namespace nascent
 

@@ -125,6 +125,12 @@ CompileResult nascent::compileSource(const std::string &Source,
   // Close the lifecycle of every surviving check (optimized or not).
   obs::recordResidualChecks(*M, R.Provenance);
 
+  // The profile skeleton describes the *residual* shape, so attach after
+  // all rewrites. M lives behind a unique_ptr: the profile's function
+  // pointers stay valid across the CompileResult move.
+  if (Opts.Telemetry.Profile)
+    R.Profile.attach(*M);
+
   Finish();
   R.M = std::move(M);
   R.Success = true;

@@ -13,6 +13,7 @@
 
 #include "audit/AuditReport.h"
 #include "frontend/Lowering.h"
+#include "obs/Profile.h"
 #include "obs/Provenance.h"
 #include "obs/Remarks.h"
 #include "obs/Trace.h"
@@ -61,6 +62,10 @@ struct PipelineOptions {
     /// Record the full check-lifecycle provenance (one event stream per
     /// compilation, keyed by check tag) into CompileResult::Provenance.
     bool Provenance = false;
+    /// Attach an execution profile (CompileResult::Profile) to the
+    /// optimized module, ready for the interpreter to stream dynamic
+    /// block/loop/access/check-site counts into.
+    bool Profile = false;
   } Telemetry;
 };
 
@@ -86,6 +91,11 @@ struct CompileResult {
   /// insertion) and ends in a terminal state; reconcileCheckProvenance
   /// cross-checks the record against Stats.
   obs::ProvenanceRecorder Provenance;
+  /// Execution profile attached to the optimized module (zeroed skeleton
+  /// of every residual block/loop/array/check site); empty unless
+  /// Telemetry.Profile. Pass as InterpOptions::Profile when interpreting
+  /// CompileResult::M to populate the dynamic counts.
+  obs::ExecutionProfile Profile;
 
   /// Wall-clock seconds spent in the range-check optimization phase (the
   /// paper's "Range" column was measured on this clock).

@@ -4,6 +4,7 @@
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "ir/IRPrinter.h"
+#include "obs/Profile.h"
 #include "obs/StatRegistry.h"
 #include "support/StringUtils.h"
 
@@ -60,7 +61,10 @@ struct Frame {
 class Executor {
 public:
   Executor(const Module &M, const InterpOptions &Opts, ExecResult &R)
-      : M(M), Opts(Opts), R(R) {}
+      : M(M), Opts(Opts), R(R) {
+    if (Opts.Profile && Opts.Profile->attached())
+      Prof = Opts.Profile;
+  }
 
   void runEntry(const Function &F) {
     Cell Dummy;
@@ -160,6 +164,7 @@ private:
   const Module &M;
   const InterpOptions &Opts;
   ExecResult &R;
+  obs::ExecutionProfile *Prof = nullptr;
 
 public:
   /// Per-site check execution tallies (CountCheckSites only), keyed by
@@ -177,6 +182,28 @@ void Executor::execute(Frame &Fr, Cell &ResultOut, unsigned Depth) {
   const SymbolTable &Syms = F.symbols();
   BlockID Cur = F.entryBlock();
   size_t Idx = 0;
+
+  // Per-frame profiling state: loops in recursive activations count
+  // independently, and the flush guard closes still-open loop entries as
+  // partial no matter how the frame dies (trap, fault, in-loop return).
+  size_t PFn = Prof ? Prof->functionIndex(Fr.F)
+                    : obs::ExecutionProfile::NoFunction;
+  obs::ExecutionProfile *P =
+      PFn == obs::ExecutionProfile::NoFunction ? nullptr : Prof;
+  obs::ProfileFrameState PFS;
+  struct FrameFlush {
+    obs::ExecutionProfile *P;
+    size_t Fn;
+    obs::ProfileFrameState &FS;
+    ~FrameFlush() {
+      if (P)
+        P->flushFrame(Fn, FS);
+    }
+  } Flush{P, PFn, PFS};
+  if (P) {
+    PFS = P->makeFrameState(PFn);
+    P->enterBlock(PFn, Cur, PFS);
+  }
 
   while (!halted()) {
     const BasicBlock *BB = F.block(Cur);
@@ -196,7 +223,7 @@ void Executor::execute(Frame &Fr, Cell &ResultOut, unsigned Depth) {
       if (I.Op == Opcode::CondCheck)
         ++R.DynCondChecks;
       if (Opts.CountCheckSites)
-        ++SiteCounts[{Fr.F, Cur, Idx}];
+        obs::saturatingInc(SiteCounts[{Fr.F, Cur, Idx}]);
     } else if (I.Op == Opcode::Load || I.Op == Opcode::Store) {
       // Count the address arithmetic the paper's C back end would emit:
       // one multiply and one add per dimension plus the access itself.
@@ -415,6 +442,8 @@ void Executor::execute(Frame &Fr, Cell &ResultOut, unsigned Depth) {
         Fr.Scalars[I.Dest].R = A->Reals[Off];
       else
         Fr.Scalars[I.Dest].I = A->Ints[Off];
+      if (P)
+        P->noteAccess(PFn, I.Array, /*IsStore=*/false);
       ++Idx;
       break;
     }
@@ -435,16 +464,22 @@ void Executor::execute(Frame &Fr, Cell &ResultOut, unsigned Depth) {
         A->Reals[Off] = realOf(Fr, I.Operands[0]);
       else
         A->Ints[Off] = intOf(Fr, I.Operands[0]);
+      if (P)
+        P->noteAccess(PFn, I.Array, /*IsStore=*/true);
       ++Idx;
       break;
     }
-    case Opcode::Check:
-      if (!checkHolds(Fr, I.Check)) {
+    case Opcode::Check: {
+      bool Holds = checkHolds(Fr, I.Check);
+      if (P)
+        P->noteCheck(PFn, Cur, static_cast<uint32_t>(Idx), !Holds);
+      if (!Holds) {
         fault(ExecResult::Status::Trapped, checkFailureMessage(Fr, I));
         return;
       }
       ++Idx;
       break;
+    }
     case Opcode::CondCheck: {
       bool GuardsHold = true;
       for (const CheckExpr &G : I.Guards)
@@ -452,7 +487,10 @@ void Executor::execute(Frame &Fr, Cell &ResultOut, unsigned Depth) {
           GuardsHold = false;
           break;
         }
-      if (GuardsHold && !checkHolds(Fr, I.Check)) {
+      bool Traps = GuardsHold && !checkHolds(Fr, I.Check);
+      if (P)
+        P->noteCheck(PFn, Cur, static_cast<uint32_t>(Idx), Traps);
+      if (Traps) {
         fault(ExecResult::Status::Trapped, checkFailureMessage(Fr, I));
         return;
       }
@@ -466,10 +504,14 @@ void Executor::execute(Frame &Fr, Cell &ResultOut, unsigned Depth) {
     case Opcode::Br:
       Cur = intOf(Fr, I.Operands[0]) != 0 ? I.TrueTarget : I.FalseTarget;
       Idx = 0;
+      if (P)
+        P->enterBlock(PFn, Cur, PFS);
       break;
     case Opcode::Jump:
       Cur = I.TrueTarget;
       Idx = 0;
+      if (P)
+        P->enterBlock(PFn, Cur, PFS);
       break;
     case Opcode::Ret:
       if (!I.Operands.empty()) {
@@ -548,6 +590,8 @@ ExecResult nascent::interpret(const Module &M, const InterpOptions &Opts) {
     R.CheckSites.push_back({F->name(), Block, static_cast<uint32_t>(Idx),
                             Count, F->block(Block)->instructions()[Idx].Tag});
   }
+  if (Opts.Profile && Opts.Profile->attached())
+    Opts.Profile->noteRun(R.St == ExecResult::Status::Trapped);
   ++NumRuns;
   NumDynChecks += R.DynChecks;
   return R;

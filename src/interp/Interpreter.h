@@ -21,6 +21,10 @@
 
 namespace nascent {
 
+namespace obs {
+class ExecutionProfile;
+}
+
 /// Interpreter limits and switches.
 struct InterpOptions {
   /// Abort with Status::StepLimit after this many executed instructions.
@@ -31,6 +35,11 @@ struct InterpOptions {
   /// ExecResult::CheckSites (for joining into the remark stream); off by
   /// default because it adds a map update per executed check.
   bool CountCheckSites = false;
+  /// When non-null and attached to the module being run, the interpreter
+  /// streams block frequencies, loop trip counts, array accesses, and
+  /// per-site check hits/traps into this profile. Counts accumulate
+  /// across runs; the caller owns the profile.
+  obs::ExecutionProfile *Profile = nullptr;
 };
 
 /// Result of executing a module.

@@ -188,9 +188,45 @@ std::string ProvenanceRecorder::toDot() const {
   return OS.str();
 }
 
+std::string ProvenanceRecorder::explainTag(CheckTag Tag) const {
+  std::vector<size_t> Chain = timelineOf(Tag);
+  if (Chain.empty())
+    return std::string();
+  std::ostringstream OS;
+  const LifecycleEvent &First = All[Chain.front()];
+  OS << "check t" << Tag << " " << First.CheckStr;
+  if (!First.Origin.ArrayName.empty())
+    OS << " (array '" << First.Origin.ArrayName << "' dim "
+       << First.Origin.Dim << " "
+       << (First.Origin.IsUpper ? "upper" : "lower") << " bound)";
+  OS << " at " << First.Origin.Loc.str() << ":\n";
+  for (size_t I : Chain) {
+    const LifecycleEvent &E = All[I];
+    OS << "  #" << E.Seq << " [" << E.Pass << "] "
+       << lifecycleKindName(E.Kind) << " in " << E.Function << ":"
+       << E.Block;
+    if (E.Kind == LifecycleKind::SubsumedBy) {
+      if (E.OtherTag != NoCheckTag)
+        OS << " by t" << E.OtherTag;
+      if (!E.Edge.empty())
+        OS << " via " << E.Edge;
+    } else if (!E.Edge.empty()) {
+      OS << " (was " << E.Edge << ")";
+    }
+    if (E.CheckStr != First.CheckStr &&
+        (E.Kind == LifecycleKind::Strengthened ||
+         E.Kind == LifecycleKind::Moved))
+      OS << " now " << E.CheckStr;
+    if (!E.Justification.empty())
+      OS << ": " << E.Justification;
+    OS << "\n";
+  }
+  return OS.str();
+}
+
 std::string ProvenanceRecorder::explainSite(unsigned Line,
                                             unsigned Column) const {
-  std::ostringstream OS;
+  std::string Out;
   for (CheckTag Tag : tags()) {
     std::vector<size_t> Chain = timelineOf(Tag);
     const LifecycleEvent &First = All[Chain.front()];
@@ -198,35 +234,9 @@ std::string ProvenanceRecorder::explainSite(unsigned Line,
       continue;
     if (Column != 0 && First.Origin.Loc.Column != Column)
       continue;
-    OS << "check t" << Tag << " " << First.CheckStr;
-    if (!First.Origin.ArrayName.empty())
-      OS << " (array '" << First.Origin.ArrayName << "' dim "
-         << First.Origin.Dim << " "
-         << (First.Origin.IsUpper ? "upper" : "lower") << " bound)";
-    OS << " at " << First.Origin.Loc.str() << ":\n";
-    for (size_t I : Chain) {
-      const LifecycleEvent &E = All[I];
-      OS << "  #" << E.Seq << " [" << E.Pass << "] "
-         << lifecycleKindName(E.Kind) << " in " << E.Function << ":"
-         << E.Block;
-      if (E.Kind == LifecycleKind::SubsumedBy) {
-        if (E.OtherTag != NoCheckTag)
-          OS << " by t" << E.OtherTag;
-        if (!E.Edge.empty())
-          OS << " via " << E.Edge;
-      } else if (!E.Edge.empty()) {
-        OS << " (was " << E.Edge << ")";
-      }
-      if (E.CheckStr != First.CheckStr &&
-          (E.Kind == LifecycleKind::Strengthened ||
-           E.Kind == LifecycleKind::Moved))
-        OS << " now " << E.CheckStr;
-      if (!E.Justification.empty())
-        OS << ": " << E.Justification;
-      OS << "\n";
-    }
+    Out += explainTag(Tag);
   }
-  return OS.str();
+  return Out;
 }
 
 std::vector<std::string> ProvenanceRecorder::validate() const {

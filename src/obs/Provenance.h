@@ -132,6 +132,11 @@ public:
   /// site was recorded.
   std::string explainSite(unsigned Line, unsigned Column = 0) const;
 
+  /// The decision chain of one check by lifecycle tag (the form profdiff
+  /// reports hot sites in; `mfc -explain=tag:<N>` queries it directly).
+  /// Empty when \p Tag was never recorded.
+  std::string explainTag(CheckTag Tag) const;
+
   /// Referenced-but-never-recorded tags (dangling OtherTag references)
   /// and non-terminal final states, as diagnostics. Empty means the
   /// record is closed and internally consistent.

@@ -2,6 +2,7 @@
 
 #include "ir/Function.h"
 #include "obs/Json.h"
+#include "obs/Profile.h"
 #include "support/StringUtils.h"
 
 #include <map>
@@ -129,7 +130,7 @@ void obs::emitResidualCheckRemarks(const Module &M,
   // Index the interpreter's counts by structural site address.
   std::map<std::tuple<std::string, BlockID, uint32_t>, uint64_t> BySite;
   for (const CheckSiteCount &S : Sites)
-    BySite[{S.Func, S.Block, S.Index}] += S.Count;
+    saturatingInc(BySite[{S.Func, S.Block, S.Index}], S.Count);
 
   for (const Function *F : M.functions()) {
     for (const auto &BB : *F) {

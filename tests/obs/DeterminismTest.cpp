@@ -13,6 +13,7 @@
 
 #include "driver/BatchCompiler.h"
 #include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
 #include "obs/StatRegistry.h"
 #include "suite/Suite.h"
 
@@ -138,6 +139,52 @@ TEST(Determinism, ProvenanceJsonIsBitIdenticalAcrossJobCountsAndRuns) {
   EXPECT_EQ(ProvenanceJsons(1), Serial); // repeated serial run
   EXPECT_EQ(ProvenanceJsons(2), Serial);
   EXPECT_EQ(ProvenanceJsons(8), Serial);
+}
+
+TEST(Determinism, ProfileJsonIsBitIdenticalAcrossJobCountsAndRuns) {
+  // The execution-profile envelope carries no timestamps and is written
+  // in deterministic (module, block, site, loop) order, so compiling
+  // under BatchCompiler at any job count and replaying the same inputs
+  // serially must serialise byte for byte — the contract behind
+  // `sweep --profile --jobs N` and merged profile documents
+  // (docs/profiling.md).
+  const PlacementScheme Schemes[] = {
+      PlacementScheme::NI,  PlacementScheme::CS,  PlacementScheme::LNI,
+      PlacementScheme::SE,  PlacementScheme::LI,  PlacementScheme::LLS,
+      PlacementScheme::ALL, PlacementScheme::MCM, PlacementScheme::AI};
+  const SuiteProgram *P = findSuiteProgram("vortex");
+  ASSERT_NE(P, nullptr);
+
+  std::vector<BatchJob> Batch;
+  for (PlacementScheme Scheme : Schemes) {
+    PipelineOptions PO;
+    PO.Opt.Scheme = Scheme;
+    PO.Telemetry.Profile = true;
+    Batch.push_back({P->Source, PO});
+  }
+
+  // Compile under the given job count, then interpret serially in
+  // submission order (execution itself is single-threaded; only the
+  // compiles are sharded) and serialise each profile envelope.
+  auto ProfileJsons = [&Batch](unsigned Jobs) {
+    std::vector<std::string> Out;
+    for (BatchJobResult &R : BatchCompiler(Jobs).run(Batch)) {
+      EXPECT_TRUE(R.Result.Success);
+      InterpOptions IO;
+      IO.Profile = &R.Result.Profile;
+      interpret(*R.Result.M, IO);
+      Out.push_back(R.Result.Profile.toEnvelopeJson());
+    }
+    return Out;
+  };
+
+  std::vector<std::string> Serial = ProfileJsons(1);
+  for (size_t I = 0; I != Serial.size(); ++I)
+    EXPECT_NE(Serial[I].find("\"profileVersion\""), std::string::npos)
+        << placementSchemeName(Schemes[I]);
+  EXPECT_EQ(ProfileJsons(1), Serial); // repeated serial run
+  EXPECT_EQ(ProfileJsons(2), Serial);
+  EXPECT_EQ(ProfileJsons(8), Serial);
 }
 
 TEST(Determinism, DeltaIgnoresUnrelatedPriorWork) {

@@ -1,0 +1,258 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExecutionProfile unit tests: the attach-time skeleton, interpreter
+/// recording (block frequencies, loop trip histograms, array access and
+/// per-site check counts), accumulation across runs, structural merge,
+/// saturating arithmetic, and the serialised envelope (deterministic,
+/// schema-valid, and rejecting tampered documents).
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Profile.h"
+
+#include "TestHelpers.h"
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace nascent;
+using namespace nascent::test;
+
+namespace {
+
+const char *LoopProgram = R"(
+program p
+  real a(20), b(20)
+  integer i, n
+  n = 12
+  do i = 1, n
+    a(i) = b(i) * 2.0
+  end do
+  print a(3)
+end program
+)";
+
+/// Compiles \p Source naively, attaches a profile, and runs it \p Runs
+/// times through the interpreter.
+struct Profiled {
+  CompileResult R;
+  ExecResult E;
+  Profiled(const std::string &Source, unsigned Runs = 1,
+           bool Optimize = false) {
+    PipelineOptions PO;
+    PO.Optimize = Optimize;
+    R = compileOrDie(Source, PO);
+    R.Profile.attach(*R.M);
+    InterpOptions IO;
+    IO.Profile = &R.Profile;
+    for (unsigned K = 0; K != Runs; ++K)
+      E = interpret(*R.M, IO);
+  }
+  obs::ExecutionProfile &profile() { return R.Profile; }
+};
+
+TEST(Profile, SaturatingAddClampsInsteadOfWrapping) {
+  uint64_t Max = ~uint64_t(0);
+  EXPECT_EQ(obs::saturatingAdd(5, 7), 12u);
+  EXPECT_EQ(obs::saturatingAdd(Max, 1), Max);
+  EXPECT_EQ(obs::saturatingAdd(Max - 3, 10), Max);
+  EXPECT_EQ(obs::saturatingAdd(Max, Max), Max);
+  uint64_t C = Max - 1;
+  obs::saturatingInc(C);
+  EXPECT_EQ(C, Max);
+  obs::saturatingInc(C); // already saturated: stays put
+  EXPECT_EQ(C, Max);
+}
+
+TEST(Profile, AttachBuildsZeroedSkeleton) {
+  CompileResult R = compileNaive(LoopProgram);
+  obs::ExecutionProfile P;
+  EXPECT_FALSE(P.attached());
+  P.attach(*R.M);
+  ASSERT_TRUE(P.attached());
+  ASSERT_EQ(P.functions().size(), 1u);
+  const obs::FunctionProfile &FP = P.functions()[0];
+  EXPECT_EQ(FP.Name, "p");
+  EXPECT_EQ(FP.BlockNames.size(), FP.BlockCounts.size());
+  EXPECT_FALSE(FP.BlockNames.empty());
+  EXPECT_EQ(FP.Loops.size(), 1u);
+  EXPECT_EQ(FP.Arrays.size(), 2u); // a and b
+  EXPECT_FALSE(FP.Sites.empty());  // naive build keeps every check
+  // Everything starts at zero.
+  for (uint64_t C : FP.BlockCounts)
+    EXPECT_EQ(C, 0u);
+  for (const obs::CheckSiteProfile &S : FP.Sites) {
+    EXPECT_EQ(S.Hits, 0u);
+    EXPECT_EQ(S.Traps, 0u);
+    EXPECT_NE(S.Tag, NoCheckTag);
+  }
+  EXPECT_EQ(P.runs(), 0u);
+  EXPECT_EQ(P.dynChecks(), 0u);
+  EXPECT_EQ(P.arrayAccesses(), 0u);
+  EXPECT_EQ(P.residualSites(), FP.Sites.size());
+  EXPECT_EQ(P.checksPerAccess(), 0.0);
+}
+
+TEST(Profile, InterpreterRecordsLoopAndAccessCounts) {
+  Profiled P(LoopProgram);
+  ASSERT_TRUE(P.E.ok()) << P.E.FaultMessage;
+  const obs::FunctionProfile &FP = P.profile().functions()[0];
+
+  // The single counted loop ran once, completing all 12 trips.
+  ASSERT_EQ(FP.Loops.size(), 1u);
+  const obs::LoopProfile &L = FP.Loops[0];
+  EXPECT_EQ(L.Entries, 1u);
+  EXPECT_EQ(L.Iterations, 12u);
+  EXPECT_EQ(L.PartialEntries, 0u);
+  ASSERT_EQ(L.TripHistogram.size(), 1u);
+  EXPECT_EQ(L.TripHistogram.begin()->first, 12u);
+  EXPECT_EQ(L.TripHistogram.begin()->second, 1u);
+
+  // Array traffic: 12 loads of b, 12 stores + 1 load (the print) of a.
+  uint64_t Loads = 0, Stores = 0;
+  for (const obs::ArrayProfile &A : FP.Arrays) {
+    Loads += A.Loads;
+    Stores += A.Stores;
+    if (A.Name == "b") {
+      EXPECT_EQ(A.Loads, 12u);
+      EXPECT_EQ(A.Stores, 0u);
+    }
+    if (A.Name == "a") {
+      EXPECT_EQ(A.Loads, 1u);
+      EXPECT_EQ(A.Stores, 12u);
+    }
+  }
+  EXPECT_EQ(P.profile().arrayAccesses(), Loads + Stores);
+
+  // Site totals agree with the interpreter's aggregate counters.
+  EXPECT_EQ(P.profile().dynChecks(), P.E.DynChecks);
+  EXPECT_EQ(P.profile().dynTraps(), 0u);
+  EXPECT_EQ(P.profile().runs(), 1u);
+  EXPECT_EQ(P.profile().trappedRuns(), 0u);
+  EXPECT_GT(P.profile().checksPerAccess(), 0.0);
+
+  // The header block executed more often than the entry block.
+  uint64_t MaxBlock = 0;
+  for (uint64_t C : FP.BlockCounts)
+    MaxBlock = std::max(MaxBlock, C);
+  EXPECT_GE(MaxBlock, 12u);
+}
+
+TEST(Profile, ZeroTripLoopRecordsEmptyEntry) {
+  Profiled P(R"(
+program p
+  integer i, s
+  s = 0
+  do i = 5, 1
+    s = s + 1
+  end do
+  print s
+end program
+)");
+  ASSERT_TRUE(P.E.ok()) << P.E.FaultMessage;
+  const obs::FunctionProfile &FP = P.profile().functions()[0];
+  ASSERT_EQ(FP.Loops.size(), 1u);
+  const obs::LoopProfile &L = FP.Loops[0];
+  EXPECT_EQ(L.Entries, 1u);
+  EXPECT_EQ(L.Iterations, 0u);
+  ASSERT_EQ(L.TripHistogram.count(0), 1u);
+  EXPECT_EQ(L.TripHistogram.at(0), 1u);
+}
+
+TEST(Profile, CountsAccumulateAcrossRuns) {
+  Profiled Once(LoopProgram, 1);
+  Profiled Thrice(LoopProgram, 3);
+  EXPECT_EQ(Thrice.profile().runs(), 3u);
+  EXPECT_EQ(Thrice.profile().dynChecks(), 3 * Once.profile().dynChecks());
+  EXPECT_EQ(Thrice.profile().arrayAccesses(),
+            3 * Once.profile().arrayAccesses());
+  const obs::LoopProfile &L = Thrice.profile().functions()[0].Loops[0];
+  EXPECT_EQ(L.Entries, 3u);
+  EXPECT_EQ(L.TripHistogram.at(12), 3u);
+  // Density is a ratio: constant across run counts.
+  EXPECT_DOUBLE_EQ(Thrice.profile().checksPerAccess(),
+                   Once.profile().checksPerAccess());
+}
+
+TEST(Profile, MergeAccumulatesMatchingProfiles) {
+  Profiled A(LoopProgram, 1);
+  Profiled B(LoopProgram, 2);
+  obs::ExecutionProfile &Dst = A.profile();
+  ASSERT_TRUE(Dst.merge(B.profile()));
+  EXPECT_EQ(Dst.runs(), 3u);
+  EXPECT_EQ(Dst.dynChecks(), 3 * B.profile().dynChecks() / 2);
+  EXPECT_EQ(Dst.functions()[0].Loops[0].TripHistogram.at(12), 3u);
+  // Merged result serialises identically to a profile that simply ran
+  // three times.
+  Profiled Three(LoopProgram, 3);
+  EXPECT_EQ(Dst.toJson(), Three.profile().toJson());
+}
+
+TEST(Profile, MergeRejectsStructuralMismatch) {
+  Profiled A(LoopProgram);
+  Profiled Other(R"(
+program p
+  integer i
+  i = 1
+  print i
+end program
+)");
+  std::string Before = A.profile().toJson();
+  EXPECT_FALSE(A.profile().merge(Other.profile()));
+  EXPECT_EQ(A.profile().toJson(), Before); // unchanged on failure
+}
+
+TEST(Profile, EnvelopeIsDeterministicAndSchemaValid) {
+  Profiled A(LoopProgram);
+  Profiled B(LoopProgram);
+  std::string EnvA = A.profile().toEnvelopeJson();
+  EXPECT_EQ(EnvA, B.profile().toEnvelopeJson());
+  EXPECT_EQ(EnvA, A.profile().toEnvelopeJson()); // stable re-serialisation
+
+  obs::JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(EnvA, Doc, &Err)) << Err;
+  EXPECT_TRUE(obs::validateProfileDocument(Doc, &Err)) << Err;
+}
+
+TEST(Profile, ValidationRejectsTamperedDocuments) {
+  Profiled P(LoopProgram);
+  std::string Env = P.profile().toEnvelopeJson();
+
+  auto Rejects = [](std::string Doc, const std::string &From,
+                    const std::string &To) {
+    size_t At = Doc.find(From);
+    ASSERT_NE(At, std::string::npos) << From;
+    Doc.replace(At, From.size(), To);
+    obs::JsonValue V;
+    std::string Err;
+    ASSERT_TRUE(obs::parseJson(Doc, V, &Err)) << Err;
+    EXPECT_FALSE(obs::validateProfileDocument(V, &Err)) << Doc;
+    EXPECT_FALSE(Err.empty());
+  };
+
+  // Unknown profile version.
+  Rejects(Env, "\"profileVersion\":1", "\"profileVersion\":99");
+  // Advertised totals no longer reconcile with the per-function payload.
+  Rejects(Env, "\"dynChecks\":" + std::to_string(P.profile().dynChecks()),
+          "\"dynChecks\":123456789");
+  Rejects(Env,
+          "\"arrayAccesses\":" + std::to_string(P.profile().arrayAccesses()),
+          "\"arrayAccesses\":123456789");
+}
+
+TEST(Profile, OptimizedProfileHasFewerSitesSameAccesses) {
+  // The headline the layer exists for: optimization shrinks dynamic check
+  // density while the access denominator stays fixed.
+  Profiled Naive(LoopProgram, 1, /*Optimize=*/false);
+  Profiled Opt(LoopProgram, 1, /*Optimize=*/true);
+  ASSERT_TRUE(Naive.E.ok());
+  ASSERT_TRUE(Opt.E.ok());
+  EXPECT_EQ(Naive.profile().arrayAccesses(), Opt.profile().arrayAccesses());
+  EXPECT_LE(Opt.profile().dynChecks(), Naive.profile().dynChecks());
+  EXPECT_LE(Opt.profile().checksPerAccess(),
+            Naive.profile().checksPerAccess());
+}
+
+} // namespace
