@@ -23,6 +23,11 @@
 /// profile-smoke entries drive mfc -profile-json and profdiff --json
 /// through this path.
 ///
+/// Additionally, a document carrying a "cacheStats" member (mfc -cache
+/// -stats-json, docs/caching.md) has that block checked for shape: both
+/// tiers present with non-negative hit/miss counters, and the byte gauge
+/// within the advertised budget. The cache-smoke entries rely on this.
+///
 /// Exits 0 on a valid document, 1 on a parse/validation failure or a
 /// failing command.
 ///
@@ -37,6 +42,43 @@
 #include <string>
 
 using namespace nascent;
+
+namespace {
+
+/// Validates the "cacheStats" block emitted by ArtifactCache::
+/// writeStatsJson: {"frontend":{"hits","misses"},"analysis":{...},
+/// "bytes","maxBytes","evictions"}, every counter a non-negative number
+/// and the live byte gauge within the advertised budget.
+bool validateCacheStats(const obs::JsonValue &CS, std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = "cacheStats: " + Msg;
+    return false;
+  };
+  if (!CS.isObject())
+    return Fail("not an object");
+  for (const char *Tier : {"frontend", "analysis"}) {
+    const obs::JsonValue *T = CS.get(Tier);
+    if (!T || !T->isObject())
+      return Fail(std::string(Tier) + " tier missing");
+    for (const char *Counter : {"hits", "misses"}) {
+      const obs::JsonValue *C = T->get(Counter);
+      if (!C || !C->isNumber() || C->Number < 0)
+        return Fail(std::string(Tier) + "." + Counter +
+                    " missing or negative");
+    }
+  }
+  for (const char *Field : {"bytes", "maxBytes", "evictions"}) {
+    const obs::JsonValue *F = CS.get(Field);
+    if (!F || !F->isNumber() || F->Number < 0)
+      return Fail(std::string(Field) + " missing or negative");
+  }
+  if (CS.get("bytes")->Number > CS.get("maxBytes")->Number)
+    return Fail("bytes exceeds maxBytes");
+  return true;
+}
+
+} // namespace
 
 int main(int argc, char **argv) {
   if (argc < 2) {
@@ -82,6 +124,8 @@ int main(int argc, char **argv) {
     Ok = obs::validateProvenanceDocument(V, &Err);
   else
     Ok = obs::validateBenchDocument(V, &Err);
+  if (Ok && V.get("cacheStats"))
+    Ok = validateCacheStats(*V.get("cacheStats"), &Err);
   if (!Ok) {
     std::fprintf(stderr,
                  "json_check: '%s' output fails schema validation: %s\n",

@@ -16,10 +16,14 @@
 /// threads via BatchCompiler (0 = one per hardware thread). Results are
 /// consumed in submission order and the job count is deliberately not
 /// echoed into the output, so findings, counters, and JSON are
-/// bit-identical across job counts (timing values aside).
+/// bit-identical across job counts (timing values aside). `--cache`
+/// shares frontend and analysis artifacts across the matrix
+/// (docs/caching.md) without changing a byte of the audit output; file
+/// arguments sweep the given programs instead of the built-in suite.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/ArtifactCache.h"
 #include "driver/BatchCompiler.h"
 #include "driver/Pipeline.h"
 #include "obs/BenchSchema.h"
@@ -30,7 +34,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
+#include <sstream>
 
 using namespace nascent;
 
@@ -62,17 +69,33 @@ struct ConfigTiming {
 int main(int argc, char **argv) {
   bool Json = false;
   bool Provenance = false;
+  bool UseCache = false;
+  std::vector<std::string> Files;
   unsigned Jobs = 1;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0)
       Json = true;
     else if (std::strcmp(argv[I], "--provenance") == 0)
       Provenance = true;
-    else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc)
-      Jobs = resolveJobCount(
-          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10)));
+    else if (std::strcmp(argv[I], "--cache") == 0)
+      UseCache = true;
+    else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
+      unsigned Requested = 0;
+      if (!parseJobCount(argv[++I], Requested)) {
+        std::fprintf(stderr,
+                     "audit_all: invalid --jobs value '%s' (expected a "
+                     "non-negative integer; 0 = one worker per hardware "
+                     "thread)\n",
+                     argv[I]);
+        return 2;
+      }
+      Jobs = resolveJobCount(Requested);
+    } else if (argv[I][0] != '-')
+      Files.push_back(argv[I]);
     else {
-      std::fprintf(stderr, "usage: %s [--json] [--provenance] [--jobs N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--provenance] [--cache] [--jobs N] "
+                   "[FILE.mf ...]\n",
                    argv[0]);
       return 2;
     }
@@ -95,22 +118,49 @@ int main(int argc, char **argv) {
     W.beginArray();
   }
 
+  // Each program's text is materialised once (suite sources wrapped in a
+  // shared buffer, file arguments read exactly once) and shared across
+  // every grid cell via BatchJob's shared_ptr.
+  struct ProgramEntry {
+    std::string Name;
+    std::shared_ptr<const std::string> Source;
+  };
+  std::vector<ProgramEntry> Programs;
+  if (Files.empty()) {
+    for (const SuiteProgram &P : benchmarkSuite())
+      Programs.push_back(
+          {P.Name, std::make_shared<const std::string>(P.Source)});
+  } else {
+    for (const std::string &Path : Files) {
+      std::ifstream In(Path);
+      if (!In) {
+        std::fprintf(stderr, "audit_all: cannot open %s\n", Path.c_str());
+        return 2;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Programs.push_back(
+          {Path, std::make_shared<const std::string>(Buf.str())});
+    }
+  }
+
   // Build the job matrix in the canonical (program, scheme, mode) order;
   // Keys[I] identifies Batch[I] when results come back in the same order.
   struct RunKey {
-    const char *Program;
+    std::string Program;
     PlacementScheme Scheme;
     ImplicationMode Mode;
   };
   std::vector<BatchJob> Batch;
   std::vector<RunKey> Keys;
-  for (const SuiteProgram &P : benchmarkSuite()) {
+  for (const ProgramEntry &P : Programs) {
     for (PlacementScheme Scheme : Schemes) {
       for (ImplicationMode Mode : Modes) {
         PipelineOptions PO;
         PO.Opt.Scheme = Scheme;
         PO.Opt.Implications = Mode;
         PO.Audit = true;
+        PO.Cache.Enabled = UseCache;
         PO.Telemetry.Provenance = Provenance;
         Batch.push_back({P.Source, PO});
         Keys.push_back({P.Name, Scheme, Mode});
@@ -118,7 +168,13 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (UseCache)
+    cache::ArtifactCache::global().resetStats();
   std::vector<BatchJobResult> Results = BatchCompiler(Jobs).run(Batch);
+  // Stats go to stderr so stdout stays byte-identical cache-on vs off.
+  if (UseCache)
+    std::fprintf(stderr, "audit_all: %s\n",
+                 cache::ArtifactCache::global().summaryLine().c_str());
 
   unsigned Runs = 0, Failures = 0;
   AuditStats Total;
@@ -129,7 +185,7 @@ int main(int argc, char **argv) {
     ++Runs;
     if (!R.Success) {
       std::fprintf(stderr, "audit_all: %s/%s: compile failed:\n%s\n",
-                   K.Program, placementSchemeName(K.Scheme),
+                   K.Program.c_str(), placementSchemeName(K.Scheme),
                    R.Diags.render().c_str());
       ++Failures;
       continue;
@@ -173,7 +229,7 @@ int main(int argc, char **argv) {
       if (!Problems.empty()) {
         std::fprintf(stderr, "audit_all: %s scheme=%s impl=%s provenance "
                              "FAILED\n",
-                     K.Program, placementSchemeName(K.Scheme),
+                     K.Program.c_str(), placementSchemeName(K.Scheme),
                      implicationModeName(K.Mode));
         for (const std::string &P : Problems)
           std::fprintf(stderr, "  %s\n", P.c_str());
@@ -183,7 +239,7 @@ int main(int argc, char **argv) {
     Total += R.Audit.stats();
     if (!R.Audit.clean()) {
       std::fprintf(stderr, "audit_all: %s scheme=%s impl=%d FAILED\n%s",
-                   K.Program, placementSchemeName(K.Scheme),
+                   K.Program.c_str(), placementSchemeName(K.Scheme),
                    static_cast<int>(K.Mode), R.Audit.render().c_str());
       ++Failures;
     }

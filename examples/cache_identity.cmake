@@ -1,0 +1,44 @@
+# Byte-identity gate for the artifact cache (docs/caching.md): a cached
+# sweep must produce exactly the bytes an uncached sweep produces, at any
+# job count and in both output modes. --profile drops the timing columns,
+# so the whole document is comparable byte for byte. Run with
+#   cmake -DSWEEP=<path-to-sweep> -P cache_identity.cmake
+if(NOT DEFINED SWEEP)
+  message(FATAL_ERROR "pass -DSWEEP=<path to the sweep binary>")
+endif()
+
+foreach(mode "--json" "")
+  # The reference: an uncached serial sweep.
+  if(mode STREQUAL "")
+    execute_process(COMMAND ${SWEEP} --profile
+      OUTPUT_VARIABLE reference RESULT_VARIABLE rc ERROR_QUIET)
+  else()
+    execute_process(COMMAND ${SWEEP} --profile ${mode}
+      OUTPUT_VARIABLE reference RESULT_VARIABLE rc ERROR_QUIET)
+  endif()
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sweep --profile ${mode} exited with ${rc}")
+  endif()
+
+  foreach(jobs 1 2 8)
+    if(mode STREQUAL "")
+      execute_process(COMMAND ${SWEEP} --profile --cache --jobs ${jobs}
+        OUTPUT_VARIABLE out RESULT_VARIABLE rc ERROR_QUIET)
+    else()
+      execute_process(COMMAND ${SWEEP} --profile ${mode} --cache --jobs ${jobs}
+        OUTPUT_VARIABLE out RESULT_VARIABLE rc ERROR_QUIET)
+    endif()
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "sweep --profile ${mode} --cache --jobs ${jobs} exited with ${rc}")
+    endif()
+    if(NOT reference STREQUAL out)
+      message(FATAL_ERROR
+        "sweep --profile ${mode} --cache --jobs ${jobs} output differs "
+        "from the uncached run")
+    endif()
+  endforeach()
+endforeach()
+message(STATUS
+  "sweep --profile --cache output is byte-identical to the uncached sweep "
+  "at --jobs 1/2/8")

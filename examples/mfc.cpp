@@ -19,9 +19,13 @@
 ///     -emit-c                           print instrumented C instead of
 ///                                       running the program
 ///     -quiet                            suppress program output
+///     -cache[=off]                      reuse frontend/analysis artifacts
+///                                       from the process-global content-
+///                                       addressed cache (docs/caching.md)
 ///     -stats-json                       print optimizer stats, phase
-///                                       timings, and the global stat
-///                                       registry as JSON on stdout
+///                                       timings, the global stat registry,
+///                                       and (with -cache) cacheStats as
+///                                       JSON on stdout
 ///     -trace-out=PATH                   write a Chrome trace_event JSON
 ///                                       of the pipeline/optimizer phases
 ///                                       (open in Perfetto)
@@ -50,6 +54,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/ArtifactCache.h"
 #include "cbackend/CEmitter.h"
 #include "driver/Pipeline.h"
 #include "interp/Interpreter.h"
@@ -74,7 +79,8 @@ void usage() {
       stderr,
       "usage: mfc [-scheme=NAME] [-impl=all|cross|none] [-inx] [-audit]\n"
       "           [-no-opt] [-no-checks] [-dump-ir] [-emit-c] [-quiet]\n"
-      "           [-stats-json] [-trace-out=PATH] [-remarks[=REGEX]]\n"
+      "           [-cache[=off]] [-stats-json] [-trace-out=PATH] "
+      "[-remarks[=REGEX]]\n"
       "           [-provenance-json] [-provenance-dot=PATH] "
       "[-explain=SITE|tag:N]\n"
       "           [-profile] [-profile-json[=PATH]] file.mf\n");
@@ -160,6 +166,10 @@ int main(int argc, char **argv) {
       EmitC = true;
     } else if (std::strcmp(Arg, "-quiet") == 0) {
       Quiet = true;
+    } else if (std::strcmp(Arg, "-cache") == 0) {
+      PO.Cache.Enabled = true;
+    } else if (std::strcmp(Arg, "-cache=off") == 0) {
+      PO.Cache.Enabled = false;
     } else if (std::strcmp(Arg, "-stats-json") == 0) {
       StatsJson = true;
     } else if (std::strncmp(Arg, "-trace-out=", 11) == 0) {
@@ -408,6 +418,10 @@ int main(int argc, char **argv) {
     W.endObject();
     W.key("registry");
     obs::StatRegistry::global().writeJson(W);
+    if (PO.Cache.Enabled) {
+      W.key("cacheStats");
+      cache::ArtifactCache::global().writeStatsJson(W);
+    }
     if (PO.Telemetry.Remarks) {
       W.key("remarks");
       R.Remarks.writeJson(W);

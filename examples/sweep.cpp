@@ -15,8 +15,12 @@
 ///   sweep --provenance      # per-run lifecycle record (+ reconcile gate)
 ///   sweep --profile         # interpret every compiled result and report
 ///                           # dynamic check density per configuration
+///   sweep --cache           # share frontend/analysis artifacts across
+///                           # cells (docs/caching.md); stats on stderr
 ///   sweep -trace-out=PATH   # one merged Chrome trace, one lane per
 ///                           # worker thread
+///   sweep prog.mf ...       # sweep the given files instead of the
+///                           # built-in suite (each read exactly once)
 ///
 /// Results are consumed in submission order and no job count is echoed
 /// into the document, so the output is bit-identical for every --jobs
@@ -29,6 +33,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/ArtifactCache.h"
 #include "driver/BatchCompiler.h"
 #include "interp/Interpreter.h"
 #include "obs/BenchSchema.h"
@@ -40,9 +45,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -85,8 +93,10 @@ int main(int argc, char **argv) {
   bool Remarks = false;
   bool Provenance = false;
   bool Profile = false;
+  bool UseCache = false;
   std::string RemarkFilter;
   std::string TracePath;
+  std::vector<std::string> Files;
   unsigned Jobs = 1;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0)
@@ -100,15 +110,28 @@ int main(int argc, char **argv) {
       Provenance = true;
     else if (std::strcmp(argv[I], "--profile") == 0)
       Profile = true;
+    else if (std::strcmp(argv[I], "--cache") == 0)
+      UseCache = true;
     else if (std::strncmp(argv[I], "-trace-out=", 11) == 0)
       TracePath = argv[I] + 11;
-    else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc)
-      Jobs = resolveJobCount(
-          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10)));
+    else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
+      unsigned Requested = 0;
+      if (!parseJobCount(argv[++I], Requested)) {
+        std::fprintf(stderr,
+                     "sweep: invalid --jobs value '%s' (expected a "
+                     "non-negative integer; 0 = one worker per hardware "
+                     "thread)\n",
+                     argv[I]);
+        return 2;
+      }
+      Jobs = resolveJobCount(Requested);
+    } else if (argv[I][0] != '-')
+      Files.push_back(argv[I]);
     else {
       std::fprintf(stderr,
                    "usage: %s [--json] [--remarks[=REGEX]] [--provenance] "
-                   "[--profile] [-trace-out=PATH] [--jobs N]\n",
+                   "[--profile] [--cache] [-trace-out=PATH] [--jobs N] "
+                   "[FILE.mf ...]\n",
                    argv[0]);
       return 2;
     }
@@ -122,19 +145,47 @@ int main(int argc, char **argv) {
                                    ImplicationMode::CrossFamilyOnly,
                                    ImplicationMode::None};
 
+  // Every program's text is materialised exactly once — suite sources are
+  // wrapped in one shared buffer each, file arguments are read once here —
+  // and every grid cell over that program shares the same buffer through
+  // BatchJob's shared_ptr, instead of re-reading or copying per cell.
+  struct ProgramEntry {
+    std::string Name;
+    std::shared_ptr<const std::string> Source;
+  };
+  std::vector<ProgramEntry> Programs;
+  if (Files.empty()) {
+    for (const SuiteProgram &P : benchmarkSuite())
+      Programs.push_back(
+          {P.Name, std::make_shared<const std::string>(P.Source)});
+  } else {
+    for (const std::string &Path : Files) {
+      std::ifstream In(Path);
+      if (!In) {
+        std::fprintf(stderr, "sweep: cannot open %s\n", Path.c_str());
+        return 2;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Programs.push_back(
+          {Path, std::make_shared<const std::string>(Buf.str())});
+    }
+  }
+
   struct RunKey {
-    const char *Program;
+    std::string Program;
     PlacementScheme Scheme;
     ImplicationMode Mode;
   };
   std::vector<BatchJob> Batch;
   std::vector<RunKey> Keys;
-  for (const SuiteProgram &P : benchmarkSuite()) {
+  for (const ProgramEntry &P : Programs) {
     for (PlacementScheme Scheme : Schemes) {
       for (ImplicationMode Mode : Modes) {
         PipelineOptions PO;
         PO.Opt.Scheme = Scheme;
         PO.Opt.Implications = Mode;
+        PO.Cache.Enabled = UseCache;
         PO.Telemetry.Trace = !TracePath.empty();
         PO.Telemetry.Remarks = Remarks;
         PO.Telemetry.RemarkFilter = RemarkFilter;
@@ -146,7 +197,13 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (UseCache)
+    cache::ArtifactCache::global().resetStats();
   std::vector<BatchJobResult> Results = BatchCompiler(Jobs).run(Batch);
+  // Stats go to stderr so stdout stays byte-identical cache-on vs off.
+  if (UseCache)
+    std::fprintf(stderr, "sweep: %s\n",
+                 cache::ArtifactCache::global().summaryLine().c_str());
 
   // --profile: run every compiled module once, streaming dynamic counts
   // into its attached profile. Serial and in submission order, so the
@@ -214,8 +271,9 @@ int main(int argc, char **argv) {
     const RunKey &K = Keys[I];
     const CompileResult &R = Results[I].Result;
     if (!R.Success) {
-      std::fprintf(stderr, "sweep: %s/%s: compile failed:\n%s\n", K.Program,
-                   placementSchemeName(K.Scheme), R.Diags.render().c_str());
+      std::fprintf(stderr, "sweep: %s/%s: compile failed:\n%s\n",
+                   K.Program.c_str(), placementSchemeName(K.Scheme),
+                   R.Diags.render().c_str());
       ++Failures;
       continue;
     }
@@ -267,7 +325,7 @@ int main(int argc, char **argv) {
       if (!Problems.empty()) {
         std::fprintf(stderr, "sweep: %s scheme=%s impl=%s provenance "
                              "FAILED\n",
-                     K.Program, placementSchemeName(K.Scheme),
+                     K.Program.c_str(), placementSchemeName(K.Scheme),
                      implicationModeName(K.Mode));
         for (const std::string &P : Problems)
           std::fprintf(stderr, "  %s\n", P.c_str());

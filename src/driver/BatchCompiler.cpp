@@ -15,9 +15,10 @@ namespace {
 /// either way the delta is the job's own work, bit-identical across
 /// --jobs values.
 BatchJobResult runOne(const BatchJob &Job) {
+  static const std::string Empty;
   BatchJobResult R;
   obs::StatSnapshot Before = obs::StatRegistry::global().snapshot();
-  R.Result = compileSource(Job.Source, Job.Opts);
+  R.Result = compileSource(Job.Source ? *Job.Source : Empty, Job.Opts);
   R.Work = obs::StatRegistry::global().snapshot().deltaFrom(Before);
   return R;
 }
@@ -50,4 +51,19 @@ BatchCompiler::run(const std::vector<BatchJob> &Batch) const {
 
 unsigned nascent::resolveJobCount(unsigned Requested) {
   return Requested == 0 ? ThreadPool::defaultWorkers() : Requested;
+}
+
+bool nascent::parseJobCount(const std::string &Text, unsigned &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+    if (V > 4096) // far above any sane worker count; also bounds overflow
+      return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
 }

@@ -24,14 +24,25 @@
 #include "driver/Pipeline.h"
 #include "obs/StatRegistry.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace nascent {
 
 /// One compilation job: a source program plus its pipeline configuration.
+/// The source is held by shared pointer so a sweep submitting hundreds of
+/// cells over a handful of programs shares one buffer per program instead
+/// of copying the text into every job.
 struct BatchJob {
-  std::string Source;
+  BatchJob() = default;
+  BatchJob(std::string Source, PipelineOptions Opts)
+      : Source(std::make_shared<const std::string>(std::move(Source))),
+        Opts(std::move(Opts)) {}
+  BatchJob(std::shared_ptr<const std::string> Source, PipelineOptions Opts)
+      : Source(std::move(Source)), Opts(std::move(Opts)) {}
+
+  std::shared_ptr<const std::string> Source;
   PipelineOptions Opts;
 };
 
@@ -66,6 +77,14 @@ private:
 /// Maps a --jobs flag value to a worker count: 0 means "auto" (the
 /// hardware concurrency), anything else is taken literally.
 unsigned resolveJobCount(unsigned Requested);
+
+/// Strictly parses a --jobs flag value: a string of decimal digits,
+/// where 0 means "auto-detect hardware concurrency".
+/// Returns false — leaving \p Out untouched — for empty, negative,
+/// non-numeric, trailing-garbage, or overflowing text, so drivers can
+/// diagnose "--jobs -3" and "--jobs fast" instead of silently taking
+/// whatever strtoul salvages.
+bool parseJobCount(const std::string &Text, unsigned &Out);
 
 } // namespace nascent
 

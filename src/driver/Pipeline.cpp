@@ -1,6 +1,7 @@
 #include "driver/Pipeline.h"
 
 #include "audit/TrapSafetyAuditor.h"
+#include "cache/ArtifactCache.h"
 #include "checks/INXSynthesis.h"
 #include "ir/Verifier.h"
 #include "lang/Parser.h"
@@ -39,43 +40,73 @@ CompileResult nascent::compileSource(const std::string &Source,
     }
   };
 
-  std::unique_ptr<ProgramAST> AST;
-  {
-    obs::ScopedPhase Ph(R.Phases, "parse", T0, &R.Trace);
-    Parser P(Source, R.Diags);
-    AST = P.parseProgram();
-  }
-  if (R.Diags.hasErrors()) {
-    Finish();
-    return R;
-  }
-
+  // Frontend artifact tier: reuse a verified post-lowering snapshot of
+  // this exact (source, lowering options, check source) if one is cached.
+  // The clone preserves check tags, so lifecycle recording below re-opens
+  // the same events the organic path would.
+  cache::ArtifactCache *Cache =
+      Opts.Cache.Enabled
+          ? (Opts.Cache.Cache ? Opts.Cache.Cache
+                              : &cache::ArtifactCache::global())
+          : nullptr;
+  support::Hash128 FrontKey;
   std::unique_ptr<Module> M;
-  {
-    obs::ScopedPhase Ph(R.Phases, "sema", T0, &R.Trace);
-    Sema S(*AST, R.Diags);
-    M = S.run();
-  }
-  if (!M || R.Diags.hasErrors()) {
-    Finish();
-    return R;
+  if (Cache) {
+    FrontKey = cache::hashFrontendKey(Source, Opts.Lowering,
+                                      static_cast<unsigned>(Opts.Source));
+    obs::ScopedPhase Ph(R.Phases, "cache-frontend", T0, &R.Trace);
+    if (auto FA = Cache->findFrontend(FrontKey))
+      M = FA->Snapshot->clone();
   }
 
-  {
-    obs::ScopedPhase Ph(R.Phases, "lower", T0, &R.Trace);
-    lowerProgram(*AST, *M, Opts.Lowering);
-  }
-  // Every naive check materialised by lowering opens its lifecycle here;
-  // optimizer insertions record their own Inserted events as they happen.
-  obs::recordInsertedChecks(*M, "Lowering", R.Provenance);
-  bool VerifyOk;
-  {
-    obs::ScopedPhase Ph(R.Phases, "verify", T0, &R.Trace);
-    VerifyOk = verifyModule(*M, R.Diags);
-  }
-  if (!VerifyOk) {
-    Finish();
-    return R;
+  if (!M) {
+    std::unique_ptr<ProgramAST> AST;
+    {
+      obs::ScopedPhase Ph(R.Phases, "parse", T0, &R.Trace);
+      Parser P(Source, R.Diags);
+      AST = P.parseProgram();
+    }
+    if (R.Diags.hasErrors()) {
+      Finish();
+      return R;
+    }
+
+    {
+      obs::ScopedPhase Ph(R.Phases, "sema", T0, &R.Trace);
+      Sema S(*AST, R.Diags);
+      M = S.run();
+    }
+    if (!M || R.Diags.hasErrors()) {
+      Finish();
+      return R;
+    }
+
+    {
+      obs::ScopedPhase Ph(R.Phases, "lower", T0, &R.Trace);
+      lowerProgram(*AST, *M, Opts.Lowering);
+    }
+    // Every naive check materialised by lowering opens its lifecycle here;
+    // optimizer insertions record their own Inserted events as they happen.
+    obs::recordInsertedChecks(*M, "Lowering", R.Provenance);
+    bool VerifyOk;
+    {
+      obs::ScopedPhase Ph(R.Phases, "verify", T0, &R.Trace);
+      VerifyOk = verifyModule(*M, R.Diags);
+    }
+    if (!VerifyOk) {
+      Finish();
+      return R;
+    }
+    // Only diagnostic-free compiles are stored: a later cache hit skips
+    // the frontend entirely, so it must have no warnings to replay.
+    if (Cache && R.Diags.diagnostics().empty()) {
+      obs::ScopedPhase Ph(R.Phases, "cache-store", T0, &R.Trace);
+      Cache->storeFrontend(FrontKey, M->clone());
+    }
+  } else {
+    // Cache hit: the snapshot was verified when stored; open the naive
+    // checks' lifecycles exactly as the organic path does after lowering.
+    obs::recordInsertedChecks(*M, "Lowering", R.Provenance);
   }
 
   if (Opts.Source == CheckSource::INX) {
@@ -96,6 +127,8 @@ CompileResult nascent::compileSource(const std::string &Source,
       OC.Remarks = &R.Remarks;
       OC.Trace = &R.Trace;
       OC.Provenance = &R.Provenance;
+      OC.Cache = Cache;
+      OC.ModuleKey = FrontKey;
       R.Stats = optimizeModule(*M, OC, R.Diags);
     }
     bool PostOk;

@@ -44,6 +44,19 @@ struct PipelineOptions {
   /// CompileResult::Audit and, as errors, in Diags.
   bool Audit = false;
 
+  /// Content-addressed artifact caching (docs/caching.md). When enabled,
+  /// the pipeline reuses a verified post-lowering module snapshot for a
+  /// previously seen (source, lowering options, check source) key —
+  /// skipping parse/sema/lower/verify — and threads the cache into the
+  /// optimizer so analysis artifacts are shared too. All outputs (stats,
+  /// remarks, provenance, profile, audit findings) are byte-identical
+  /// with the cache on or off.
+  struct CacheOptions {
+    bool Enabled = false;
+    /// The cache instance to share; null means the process-global one.
+    cache::ArtifactCache *Cache = nullptr;
+  } Cache;
+
   /// Telemetry switches. Phase timings (CompileResult::Phases) are always
   /// measured; these control the heavier trace/remark streams.
   struct TelemetryOptions {

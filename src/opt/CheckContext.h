@@ -17,11 +17,13 @@
 #define NASCENT_OPT_CHECKCONTEXT_H
 
 #include "analysis/Dataflow.h"
+#include "cache/ArtifactCache.h"
 #include "checks/CheckImplicationGraph.h"
 #include "checks/CheckUniverse.h"
 #include "ir/Function.h"
 #include "obs/Trace.h"
 
+#include <memory>
 #include <vector>
 
 namespace nascent {
@@ -48,6 +50,25 @@ public:
                const std::vector<PreheaderFact> &Facts = {},
                obs::TraceCollector *Trace = nullptr);
 
+  /// Rebuilds a context from a cached seed (docs/caching.md): binds the
+  /// seed's shared universe and table core instead of walking the IR,
+  /// rebinds the implication graph to the shared universe, and replays
+  /// the stat and work-proxy effects of the organic build so telemetry
+  /// is byte-identical either way. Only valid for \p F content-identical
+  /// to the function the seed was built from, at the same mode, with no
+  /// preheader facts.
+  CheckContext(const Function &F, ImplicationMode Mode,
+               const cache::ContextSeed &Seed,
+               obs::TraceCollector *Trace = nullptr);
+
+  /// Snapshot of the built state for the artifact cache. Completes the
+  /// lazy closure build first (a no-op unless the universe is empty,
+  /// where it is free) so the shared core is immutable from here on.
+  cache::ContextSeed makeSeed() const;
+
+  /// Word-parallel bit-vector ops the construction spent (or replayed).
+  uint64_t buildWordOps() const { return BuildWordOps; }
+
   const Function &function() const { return F; }
   const CheckUniverse &universe() const { return U; }
   CheckImplicationGraph &cig() { return CIG; }
@@ -58,18 +79,18 @@ public:
   /// every other instruction (including CondCheck) and for instructions
   /// inserted after this context was built.
   CheckID idOf(BlockID B, size_t Idx) const {
-    if (B >= InstCheck.size() || Idx >= InstCheck[B].size())
+    if (B >= Core.InstCheck.size() || Idx >= Core.InstCheck[B].size())
       return InvalidCheck;
-    return InstCheck[B][Idx];
+    return Core.InstCheck[B][Idx];
   }
 
   /// A representative origin for diagnostics on inserted copies of \p C.
   const CheckOrigin &representativeOrigin(CheckID C) const {
-    return RepOrigin[C];
+    return Core.RepOrigin[C];
   }
 
   /// Entry facts per block (universe-sized bit vectors).
-  const DenseBitVector &genInBits(BlockID B) const { return GenIn[B]; }
+  const DenseBitVector &genInBits(BlockID B) const { return Core.GenIn[B]; }
 
   /// The lifecycle tag of a preheader conditional check whose fact covers
   /// \p C at the entry of \p B; NoCheckTag when no fact does (or the
@@ -108,11 +129,13 @@ public:
   const DenseBitVector &weakerClosureSameFamily(CheckID C) const;
 
   /// Per-block kill sets (union over instructions).
-  const DenseBitVector &blockKill(BlockID B) const { return Kill[B]; }
+  const DenseBitVector &blockKill(BlockID B) const { return Core.Kill[B]; }
 
   /// Per-block local anticipatability (LCM's ANTLOC): checks generated in
   /// the block with no kill before them.
-  const DenseBitVector &blockAnticGen(BlockID B) const { return AnticGen[B]; }
+  const DenseBitVector &blockAnticGen(BlockID B) const {
+    return Core.AnticGen[B];
+  }
 
   /// True when block \p B contains a plain check generating \p C's
   /// availability before any kill of \p C (LCM's "locally anticipatable").
@@ -121,6 +144,10 @@ public:
 private:
   void buildUniverse(const std::vector<PreheaderFact> &Facts);
   void buildBlockSets();
+
+  /// The stat epilogue shared by the organic and seeded constructors, so
+  /// both record identical counter and histogram updates.
+  void recordBuildStats();
 
   /// One-shot batch fill of both closure caches. Groups the work by
   /// family: the per-family bound-suffix masks and the per-family
@@ -133,12 +160,22 @@ private:
   const Function &F;
   ImplicationMode Mode;
   obs::TraceCollector *Trace = nullptr;
-  CheckUniverse U;
+  /// Seeded contexts share the (immutable) universe of the build that
+  /// produced their seed instead of copying its intern maps; organic
+  /// builds intern into their own. U is the one in use everywhere.
+  std::shared_ptr<const CheckUniverse> SharedU;
+  CheckUniverse OwnedU;
+  const CheckUniverse &U;
+  /// The built tables (ids, origins, transfer sets, closures): organic
+  /// contexts allocate and fill OwnedCore (the write handle — also used
+  /// by the one lazy post-constructor write, ensureClosures); seeded
+  /// contexts bind SharedCore from their seed. Core is the one in use
+  /// everywhere. makeSeed completes the lazy closure build and then
+  /// shares the core, after which it is immutable.
+  std::shared_ptr<cache::ContextCore> OwnedCore;
+  std::shared_ptr<const cache::ContextCore> SharedCore;
+  const cache::ContextCore &Core;
   CheckImplicationGraph CIG;
-
-  std::vector<std::vector<CheckID>> InstCheck;
-  std::vector<CheckOrigin> RepOrigin;
-  std::vector<DenseBitVector> GenIn;
 
   /// (body entry, interned fact, source tag) per preheader fact, kept for
   /// witness lookups.
@@ -149,14 +186,18 @@ private:
   };
   std::vector<FactInfo> StoredFacts;
 
-  // Block-level transfer sets.
-  std::vector<DenseBitVector> Kill;
-  std::vector<DenseBitVector> AvailGen; ///< includes GenIn survivors
-  std::vector<DenseBitVector> AnticGen;
+  /// Word-parallel bit-vector ops spent building the universe and block
+  /// sets (captured by the organic constructor, replayed by the seeded
+  /// one). Excludes the stat epilogue's own counted ops, which the seeded
+  /// constructor re-executes rather than replays.
+  uint64_t BuildWordOps = 0;
 
-  mutable bool ClosuresBuilt = false;
-  mutable std::vector<DenseBitVector> ClosureCache;
-  mutable std::vector<DenseBitVector> FamClosureCache;
+  /// Shared write-once memo for the global data-flow solves, threaded
+  /// through the seed so every context built from it answers each problem
+  /// from the first solve (mutable: makeSeed and the const solve methods
+  /// attach/populate it; null outside cached compiles, where the solvers
+  /// run organically every time).
+  mutable std::shared_ptr<cache::SolveMemo> Solves;
 };
 
 } // namespace nascent

@@ -5,6 +5,7 @@
 #include "analysis/LoopInfo.h"
 #include "obs/StatRegistry.h"
 
+#include <optional>
 #include <vector>
 
 using namespace nascent;
@@ -244,15 +245,22 @@ public:
 } // namespace
 
 IntervalCheckClassification
-nascent::classifyChecksByIntervals(const Function &F) {
+nascent::classifyChecksByIntervals(const Function &F,
+                                   const LoopInfo *CachedLoops) {
   IntervalCheckClassification C;
   IntervalSolver Solver(F);
   Solver.solve();
 
   // Loop-index refinement: inside loop L the do index lies within the
   // hull of its bound intervals at the preheader (for either step sign).
-  DominatorTree DT(F);
-  LoopInfo LI(F, DT);
+  std::optional<DominatorTree> OwnDT;
+  std::optional<LoopInfo> OwnLI;
+  if (!CachedLoops) {
+    OwnDT.emplace(F);
+    OwnLI.emplace(F, *OwnDT);
+    CachedLoops = &*OwnLI;
+  }
+  const LoopInfo &LI = *CachedLoops;
   auto RefinedIndex = [&](BlockID B, SymbolID Sym) -> Interval {
     for (const Loop *L = LI.loopFor(B); L; L = L->Parent) {
       if (L->DoLoopIndex < 0)
@@ -314,10 +322,11 @@ nascent::classifyChecksByIntervals(const Function &F) {
 IntervalStats nascent::eliminateChecksByIntervals(Function &F,
                                                   DiagnosticEngine &Diags,
                                                   obs::RemarkCollector *Remarks,
-                                                  obs::ProvenanceRecorder *Prov) {
+                                                  obs::ProvenanceRecorder *Prov,
+                                                  const LoopInfo *CachedLoops) {
   IntervalStats Stats;
   F.recomputePreds();
-  IntervalCheckClassification C = classifyChecksByIntervals(F);
+  IntervalCheckClassification C = classifyChecksByIntervals(F, CachedLoops);
   bool WantProv = Prov && Prov->enabled();
 
   for (auto &BB : F) {

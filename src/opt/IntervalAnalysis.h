@@ -25,6 +25,8 @@
 
 namespace nascent {
 
+class LoopInfo;
+
 /// A (possibly unbounded) integer interval [Lo, Hi].
 struct Interval {
   static constexpr int64_t NegInf = std::numeric_limits<int64_t>::min();
@@ -96,7 +98,11 @@ struct IntervalCheckClassification {
 /// every plain Check instruction. Predecessor lists must be current. The
 /// trap-safety auditor uses this to certify interval-discharged deletions
 /// and compile-time traps independently of the optimizer's own run.
-IntervalCheckClassification classifyChecksByIntervals(const Function &F);
+/// \p CachedLoops, when given, is a loop forest already computed for this
+/// exact IR (shared by the artifact cache); otherwise one is built.
+IntervalCheckClassification
+classifyChecksByIntervals(const Function &F,
+                          const LoopInfo *CachedLoops = nullptr);
 
 /// Runs the interval analysis over \p F and deletes every check the
 /// value ranges prove redundant; checks proved to always fail become
@@ -105,10 +111,11 @@ IntervalCheckClassification classifyChecksByIntervals(const Function &F);
 /// IntervalEliminated / CompileTimeTrap remarks go to \p Remarks when
 /// given; Eliminated / Trapped lifecycle events (the Trap inherits the
 /// check's tag) go to \p Prov.
-IntervalStats eliminateChecksByIntervals(Function &F,
-                                         DiagnosticEngine &Diags,
-                                         obs::RemarkCollector *Remarks = nullptr,
-                                         obs::ProvenanceRecorder *Prov = nullptr);
+IntervalStats
+eliminateChecksByIntervals(Function &F, DiagnosticEngine &Diags,
+                           obs::RemarkCollector *Remarks = nullptr,
+                           obs::ProvenanceRecorder *Prov = nullptr,
+                           const LoopInfo *CachedLoops = nullptr);
 
 } // namespace nascent
 

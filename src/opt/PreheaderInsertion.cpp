@@ -4,6 +4,7 @@
 #include "analysis/LoopInfo.h"
 #include "obs/StatRegistry.h"
 
+#include <optional>
 #include <unordered_map>
 
 using namespace nascent;
@@ -111,15 +112,22 @@ nascent::runPreheaderInsertion(Function &F, const CheckContext &Ctx,
                                const PreheaderOptions &Opts,
                                std::vector<PreheaderFact> &FactsOut,
                                obs::RemarkCollector *Remarks,
-                               obs::ProvenanceRecorder *Prov) {
+                               obs::ProvenanceRecorder *Prov,
+                               const LoopInfo *CachedLoops) {
   PreheaderStats Stats;
   const CheckUniverse &U = Ctx.universe();
   if (U.size() == 0)
     return Stats;
 
   F.recomputePreds();
-  DominatorTree DT(F);
-  LoopInfo LI(F, DT);
+  std::optional<DominatorTree> OwnDT;
+  std::optional<LoopInfo> OwnLI;
+  if (!CachedLoops) {
+    OwnDT.emplace(F);
+    OwnLI.emplace(F, *OwnDT);
+    CachedLoops = &*OwnLI;
+  }
+  const LoopInfo &LI = *CachedLoops;
   DataflowResult Antic = Ctx.solveAnticipatability();
 
   // Checks that occur as plain Check instructions inside each loop; a

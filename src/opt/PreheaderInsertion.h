@@ -33,6 +33,8 @@
 
 namespace nascent {
 
+class LoopInfo;
+
 /// Statistics of one preheader-insertion run.
 struct PreheaderStats {
   unsigned CondChecksInserted = 0;
@@ -62,11 +64,15 @@ struct PreheaderOptions {
 /// conditional check, Moved per re-hoist (the check keeps its tag), and a
 /// terminal SubsumedBy when a re-hoisted check merges into an identical
 /// conditional already in the target preheader.
+/// \p CachedLoops, when given, is a loop forest already computed for this
+/// exact IR (the artifact cache shares one across identical compiles);
+/// otherwise the pass builds its own.
 PreheaderStats runPreheaderInsertion(Function &F, const CheckContext &Ctx,
                                      const PreheaderOptions &Opts,
                                      std::vector<PreheaderFact> &FactsOut,
                                      obs::RemarkCollector *Remarks = nullptr,
-                                     obs::ProvenanceRecorder *Prov = nullptr);
+                                     obs::ProvenanceRecorder *Prov = nullptr,
+                                     const LoopInfo *CachedLoops = nullptr);
 
 } // namespace nascent
 

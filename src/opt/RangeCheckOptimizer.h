@@ -17,11 +17,16 @@
 #include "obs/Remarks.h"
 #include "obs/Trace.h"
 #include "support/Diagnostics.h"
+#include "support/Hash.h"
 
 #include <ostream>
 #include <string>
 
 namespace nascent {
+
+namespace cache {
+class ArtifactCache;
+}
 
 /// Check placement schemes, exactly the paper's seven.
 enum class PlacementScheme {
@@ -68,6 +73,14 @@ struct RangeCheckOptions {
   /// events keyed by check tag; terminal totals reconcile with the stats
   /// (see reconcileCheckProvenance).
   obs::ProvenanceRecorder *Provenance = nullptr;
+
+  /// When both are set, the optimizer consults the artifact cache for
+  /// analysis results (CheckContext seeds, dominator/loop forests) keyed
+  /// under ModuleKey — the frontend key of the module being optimized —
+  /// and stores what it computes for the next identical compile
+  /// (docs/caching.md). Telemetry is byte-identical with or without it.
+  cache::ArtifactCache *Cache = nullptr;
+  support::Hash128 ModuleKey;
 };
 
 /// X-macro over every field of OptimizerStats, in declaration order.

@@ -23,6 +23,10 @@ void DenseBitVector::retireThreadOps() {
   WordOpCount = 0;
 }
 
+uint64_t DenseBitVector::threadWordOps() { return WordOpCount; }
+
+void DenseBitVector::creditThreadOps(uint64_t N) { WordOpCount += N; }
+
 DenseBitVector::DenseBitVector(size_t NumBits, bool InitialValue)
     : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {
   if (InitialValue)

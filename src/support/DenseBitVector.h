@@ -97,9 +97,21 @@ public:
   /// thread has been joined (its shard flush calls retireThreadOps()).
   static uint64_t wordOps();
 
+  /// The calling thread's live op count only — no retired total, so a
+  /// before/after delta around a single-threaded computation is exact even
+  /// while other threads exit (their shard flush mutates the retired
+  /// total). The artifact cache measures build costs this way.
+  static uint64_t threadWordOps();
+
   /// Folds the calling thread's live op count into the retired total and
   /// zeroes it. Called by the obs-layer thread-shard flush at thread exit.
   static void retireThreadOps();
+
+  /// Adds \p N to the calling thread's live op count. The artifact cache
+  /// (src/cache) uses this to replay the word-op cost of a data-flow build
+  /// it satisfied from a stored seed, keeping the work-proxy gauge
+  /// identical whether a compile recomputed its sets or reused them.
+  static void creditThreadOps(uint64_t N);
 
 private:
   /// Clears any bits in the last word beyond NumBits so that whole-word

@@ -11,6 +11,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/ArtifactCache.h"
 #include "driver/BatchCompiler.h"
 #include "driver/Pipeline.h"
 #include "interp/Interpreter.h"
@@ -185,6 +186,93 @@ TEST(Determinism, ProfileJsonIsBitIdenticalAcrossJobCountsAndRuns) {
   EXPECT_EQ(ProfileJsons(1), Serial); // repeated serial run
   EXPECT_EQ(ProfileJsons(2), Serial);
   EXPECT_EQ(ProfileJsons(8), Serial);
+}
+
+TEST(Determinism, CacheOnAndOffProduceBitIdenticalOutputs) {
+  // The artifact cache's hard contract (docs/caching.md): reusing a
+  // frontend snapshot or a pre-built analysis context must not change a
+  // byte of any observable output. Compile every scheme twice per batch
+  // (so the second compile of each scheme hits the cache) and compare the
+  // per-job work maps, provenance JSON, and profile JSON against a
+  // cache-off run of the same batch, at every job count.
+  const PlacementScheme Schemes[] = {
+      PlacementScheme::NI,  PlacementScheme::CS,  PlacementScheme::LNI,
+      PlacementScheme::SE,  PlacementScheme::LI,  PlacementScheme::LLS,
+      PlacementScheme::ALL, PlacementScheme::MCM, PlacementScheme::AI};
+  const SuiteProgram *P = findSuiteProgram("vortex");
+  ASSERT_NE(P, nullptr);
+
+  auto MakeBatch = [&](bool UseCache, cache::ArtifactCache *Cache) {
+    std::vector<BatchJob> Batch;
+    auto Source = std::make_shared<const std::string>(P->Source);
+    for (int Round = 0; Round != 2; ++Round) {
+      for (PlacementScheme Scheme : Schemes) {
+        PipelineOptions PO;
+        PO.Opt.Scheme = Scheme;
+        PO.Cache.Enabled = UseCache;
+        PO.Cache.Cache = Cache;
+        PO.Telemetry.Provenance = true;
+        PO.Telemetry.Profile = true;
+        Batch.push_back({Source, PO});
+      }
+    }
+    return Batch;
+  };
+
+  struct Observed {
+    std::vector<obs::StatSnapshot::FlatMap> Work;
+    std::vector<std::string> Provenance;
+    std::vector<std::string> Profiles;
+    bool operator==(const Observed &O) const {
+      return Work == O.Work && Provenance == O.Provenance &&
+             Profiles == O.Profiles;
+    }
+  };
+  auto Run = [&](unsigned Jobs, bool UseCache) {
+    // A fresh cache instance per run keeps runs independent of each
+    // other and of anything the process-global cache accumulated.
+    cache::ArtifactCache Cache;
+    Observed Out;
+    for (BatchJobResult &R :
+         BatchCompiler(Jobs).run(MakeBatch(UseCache, &Cache))) {
+      EXPECT_TRUE(R.Result.Success);
+      InterpOptions IO;
+      IO.Profile = &R.Result.Profile;
+      interpret(*R.Result.M, IO);
+      Out.Work.push_back(std::move(R.Work));
+      Out.Provenance.push_back(R.Result.Provenance.toJson());
+      Out.Profiles.push_back(R.Result.Profile.toEnvelopeJson());
+    }
+    return Out;
+  };
+
+  Run(1, false); // warmup: intern dynamic per-scheme counters
+  Observed Baseline = Run(1, false);
+  for (unsigned Jobs : {1u, 2u, 8u})
+    EXPECT_TRUE(Run(Jobs, true) == Baseline) << "jobs=" << Jobs;
+}
+
+TEST(Determinism, CachedFrontendHitsReconcileWithSharedSources) {
+  // Hit/miss accounting is exact: N cells over one program produce one
+  // frontend miss and N-1 hits, nothing more.
+  const SuiteProgram *P = findSuiteProgram("vortex");
+  ASSERT_NE(P, nullptr);
+  cache::ArtifactCache Cache;
+  auto Source = std::make_shared<const std::string>(P->Source);
+  std::vector<BatchJob> Batch;
+  for (PlacementScheme Scheme :
+       {PlacementScheme::NI, PlacementScheme::LLS, PlacementScheme::ALL}) {
+    PipelineOptions PO;
+    PO.Opt.Scheme = Scheme;
+    PO.Cache.Enabled = true;
+    PO.Cache.Cache = &Cache;
+    Batch.push_back({Source, PO});
+  }
+  for (const BatchJobResult &R : BatchCompiler(1).run(Batch))
+    EXPECT_TRUE(R.Result.Success);
+  cache::ArtifactCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.FrontendMisses, 1u);
+  EXPECT_EQ(S.FrontendHits, Batch.size() - 1);
 }
 
 TEST(Determinism, DeltaIgnoresUnrelatedPriorWork) {
